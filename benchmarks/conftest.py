@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once under pytest-benchmark (the timing of interest is the
+simulation itself), prints the paper-shaped rows/series, and asserts the
+qualitative shape (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture.
+
+    The experiments are deterministic and expensive; statistical timing
+    over many rounds would measure the simulator, not the paper.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(capsys, text: str) -> None:
+    """Print experiment output past pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,83 @@
+"""Ablation benches for the design choices DESIGN.md calls out (A1–A4)."""
+
+from conftest import emit, run_once
+from repro.experiments import ablations
+from repro.experiments.report import format_table
+
+
+def test_bench_ablation_policing(benchmark, capsys):
+    """A1: a stack that ignores RWND, with and without the policer."""
+    result = run_once(benchmark, lambda: ablations.run_policing(duration=0.5))
+    rows = [[k, v["cheater_gbps"], sum(v["conforming_gbps"]) / 4,
+             v["cheater_advantage"], v["fairness"], v["policer_drops"]]
+            for k, v in result.items()]
+    emit(capsys, format_table(
+        ["config", "cheater_gbps", "conform_avg_gbps", "advantage",
+         "jain", "policer_drops"],
+        rows, title="A1 — policing a non-conforming (RWND-ignoring) stack"))
+    off, on = result["no-policing"], result["policing"]
+    # Without policing, cheating pays hugely; with it, it does not.
+    assert off["cheater_advantage"] > 5.0
+    assert on["cheater_advantage"] < 1.0
+    assert on["policer_drops"] > 0
+    assert on["fairness"] > off["fairness"]
+
+
+def test_bench_ablation_feedback(benchmark, capsys):
+    """A2: PACK piggy-backing vs a FACK-only feedback channel."""
+    result = run_once(benchmark,
+                      lambda: ablations.run_feedback_modes(duration=0.5))
+    rows = [[k, v["avg_tput_gbps"], v["fairness"], v["rtt_p50_us"],
+             v["packs"], v["facks"]] for k, v in result.items()]
+    emit(capsys, format_table(
+        ["mode", "avg_gbps", "jain", "rtt_p50_us", "packs", "facks"],
+        rows, title="A2 — feedback channel: PACK vs FACK-only"))
+    pack, fack = result["pack"], result["fack-only"]
+    # Same congestion signal either way: performance is equivalent.
+    assert abs(pack["avg_tput_gbps"] - fack["avg_tput_gbps"]) < 0.15
+    assert abs(pack["rtt_p50_us"] - fack["rtt_p50_us"]) < 40
+    # But the channels are what they claim to be.
+    assert pack["packs"] > 0 and pack["facks"] == 0
+    assert fack["facks"] > 0 and fack["packs"] == 0
+
+
+def test_bench_ablation_ecn_hiding(benchmark, capsys):
+    """A3: hiding ECN from an ECN-capable guest vs double reaction."""
+    result = run_once(benchmark,
+                      lambda: ablations.run_ecn_hiding(duration=0.5))
+    rows = [[k, v["total_gbps"], v["fairness"], v["rtt_p50_us"],
+             v["guests_reacted"]] for k, v in result.items()]
+    emit(capsys, format_table(
+        ["mode", "total_gbps", "jain", "rtt_p50_us", "guests_reacted"],
+        rows, title="A3 — hiding ECN feedback from the guest"))
+    hide, expose = result["hide-ecn"], result["expose-ecn"]
+    # With hiding, the guests never react to congestion themselves —
+    # AC/DC owns the control loop (the §3.2 design point).  Without
+    # hiding, every guest performs its own conservative reduction too.
+    assert hide["guests_reacted"] == 0
+    assert expose["guests_reacted"] == 5
+    # The double reaction must not *gain* anything: hiding is never worse.
+    assert hide["total_gbps"] >= expose["total_gbps"] - 0.1
+
+
+def test_bench_ablation_floor(benchmark, capsys):
+    """A4: AC/DC's RWND floor vs DCTCP's 2-packet CWND floor (incast)."""
+    result = run_once(benchmark,
+                      lambda: ablations.run_window_floor(n_senders=32,
+                                                         duration=0.35))
+    rows = [[k, v["rtt_p50_ms"], v["rtt_p999_ms"], v["avg_tput_mbps"],
+             v["fairness"]] for k, v in result.items()]
+    emit(capsys, format_table(
+        ["floor", "rtt_p50_ms", "rtt_p999_ms", "avg_tput_mbps", "jain"],
+        rows, title="A4 — window floor vs incast RTT (32-to-1)"))
+    # RTT orders by the floor: half-MSS < 1 MSS < 2 MSS; and AC/DC at a
+    # 2-MSS floor reproduces native DCTCP's standing queue.
+    assert result["acdc-halfmss-floor"]["rtt_p50_ms"] < \
+        result["acdc-1mss-floor"]["rtt_p50_ms"] < \
+        result["acdc-2mss-floor"]["rtt_p50_ms"]
+    assert abs(result["acdc-2mss-floor"]["rtt_p50_ms"]
+               - result["dctcp-2mss-floor"]["rtt_p50_ms"]) < \
+        result["dctcp-2mss-floor"]["rtt_p50_ms"]
+    # Throughput is the same everywhere (the floor only moves the queue).
+    tputs = [v["avg_tput_mbps"] for v in result.values()]
+    assert max(tputs) - min(tputs) < 20

@@ -1,0 +1,25 @@
+"""Fig. 1: heterogeneous congestion controls are unfair (problem setup)."""
+
+from conftest import emit, run_once
+from repro.experiments import fig01_heterogeneous_unfairness as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_fig01(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(runs=2, duration=0.6))
+    rows = []
+    for label in ("heterogeneous", "all-cubic"):
+        for i, test in enumerate(result[label]["tests"]):
+            rows.append([label, i + 1, test["max"], test["min"],
+                         test["mean"], test["median"], test["fairness"]])
+    emit(capsys, format_table(
+        ["config", "test", "max_gbps", "min_gbps", "mean", "median", "jain"],
+        rows, title="Fig. 1 — five different CCs vs all-CUBIC (dumbbell)"))
+    hetero = result["heterogeneous"]
+    cubic = result["all-cubic"]
+    # Paper shape: heterogeneous mix is clearly less fair than all-CUBIC.
+    assert hetero["mean_fairness"] < cubic["mean_fairness"] - 0.05
+    # Aggressive Illinois beats delay-based Vegas in every test.
+    for test in hetero["tests"]:
+        per_flow = test["per_flow_gbps"]
+        assert per_flow["illinois"] > per_flow["vegas"]

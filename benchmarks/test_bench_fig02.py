@@ -1,0 +1,20 @@
+"""Fig. 2: rate-limited CUBIC still fills buffers; DCTCP keeps RTT low."""
+
+from conftest import emit, run_once
+from repro.experiments import fig02_rate_limiting_insufficient as exp
+from repro.experiments.report import format_cdf
+
+
+def test_bench_fig02(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.8))
+    lines = [format_cdf(result[k]["rtt_samples"], f"RTT {k}", unit="ms",
+                        scale=1e3)
+             for k in ("cubic_rl2g", "dctcp")]
+    emit(capsys, "Fig. 2 — RTT CDF, CUBIC@2Gbps/flow rate limit vs DCTCP\n"
+         + "\n".join(lines))
+    cubic_p50 = result["cubic_rl2g"]["rtt"]["p50"]
+    dctcp_p50 = result["dctcp"]["rtt"]["p50"]
+    # Rate limiting alone leaves ~10x the queueing latency.
+    assert cubic_p50 > 5 * dctcp_p50
+    # Both configurations still deliver the 2 Gb/s shares.
+    assert all(1.5 < g < 2.3 for g in result["cubic_rl2g"]["tput_gbps"])

@@ -1,0 +1,27 @@
+"""Fig. 6: bounding RWND controls throughput exactly like bounding CWND."""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.experiments import fig06_rwnd_vs_cwnd_clamp as exp
+from repro.experiments.report import format_table
+
+
+@pytest.mark.parametrize("mtu", [1500, 9000])
+def test_bench_fig06(benchmark, capsys, mtu):
+    result = run_once(benchmark, lambda: exp.run(mtu=mtu, duration=0.15))
+    rows = []
+    for c, r in zip(result["cwnd"], result["rwnd"]):
+        rows.append([c["clamp_mss"], c["tput_gbps"], r["tput_gbps"]])
+    emit(capsys, format_table(
+        ["clamp_mss", "cwnd_clamp_gbps", "rwnd_clamp_gbps"], rows,
+        title=f"Fig. 6 — throughput vs window clamp (MTU {mtu})"))
+    # The two mechanisms must coincide at every point (the paper's claim).
+    for c, r in zip(result["cwnd"], result["rwnd"]):
+        assert r["tput_gbps"] == pytest.approx(c["tput_gbps"], rel=0.15), \
+            c["clamp_mss"]
+    # Monotone non-decreasing, saturating at the line rate.
+    tputs = [c["tput_gbps"] for c in result["cwnd"]]
+    assert all(b >= a - 0.2 for a, b in zip(tputs, tputs[1:]))
+    assert tputs[-1] > 9.0
+    assert tputs[0] < 3.0

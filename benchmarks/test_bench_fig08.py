@@ -1,0 +1,27 @@
+"""Fig. 8 + §5.1 canonical numbers: dumbbell RTT CDF and throughput."""
+
+from conftest import emit, run_once
+from repro.experiments import fig08_dumbbell_rtt as exp
+from repro.experiments.report import format_cdf, format_table
+
+
+def test_bench_fig08(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.6))
+    rows = [[k, v["avg_tput_gbps"], v["fairness"],
+             v["rtt"]["p50"] * 1e6, v["rtt"]["p999"] * 1e6,
+             v["drop_rate"] * 100]
+            for k, v in result.items()]
+    emit(capsys, format_table(
+        ["scheme", "avg_gbps", "jain", "rtt_p50_us", "rtt_p999_us", "drop_%"],
+        rows, title="Fig. 8 — dumbbell, 5 long-lived flows"))
+    emit(capsys, "\n".join(
+        format_cdf(result[k]["rtt_samples"], f"RTT {k}", unit="us", scale=1e6)
+        for k in result))
+    cubic, dctcp, acdc = (result[k] for k in ("cubic", "dctcp", "acdc"))
+    # All three schemes share the bottleneck at ~2 Gb/s per flow.
+    for v in result.values():
+        assert 1.8 < v["avg_tput_gbps"] < 2.1
+    # AC/DC tracks DCTCP's low RTT; CUBIC is an order of magnitude above.
+    assert acdc["rtt"]["p50"] < 1.5 * dctcp["rtt"]["p50"]
+    assert cubic["rtt"]["p50"] > 8 * dctcp["rtt"]["p50"]
+    assert acdc["fairness"] > 0.99 and dctcp["fairness"] > 0.99

@@ -1,0 +1,22 @@
+"""Fig. 9: AC/DC's computed RWND tracks a native DCTCP CWND."""
+
+from conftest import emit, run_once
+from repro.experiments import fig09_window_tracking as exp
+from repro.experiments.report import format_series
+
+
+def test_bench_fig09(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.35))
+    emit(capsys,
+         "Fig. 9 — AC/DC RWND vs host DCTCP CWND (MSS, log-only mode)\n"
+         + format_series(result["rwnd_ma100ms"][:2000], "RWND(ma100ms)",
+                         every=100) + "\n"
+         + format_series(result["cwnd_ma100ms"][:2000], "CWND(ma100ms)",
+                         every=100) + "\n"
+         + f"mean RWND={result['mean_rwnd_mss']:.1f} MSS, "
+           f"mean CWND={result['mean_cwnd_mss']:.1f} MSS, "
+           f"mean |err|={result['mean_abs_err_mss']:.2f} MSS, "
+           f"rel err={result['mean_rel_err'] * 100:.1f}%")
+    # The vSwitch recreation tracks the host window closely (paper Fig. 9).
+    assert result["mean_rel_err"] < 0.25
+    assert abs(result["mean_rwnd_mss"] - result["mean_cwnd_mss"]) < 5.0

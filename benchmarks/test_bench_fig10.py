@@ -1,0 +1,18 @@
+"""Fig. 10: with a CUBIC host, AC/DC's RWND is the limiting window."""
+
+from conftest import emit, run_once
+from repro.experiments import fig10_limiting_window as exp
+
+
+def test_bench_fig10(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.35))
+    emit(capsys,
+         "Fig. 10 — who limits a CUBIC guest under AC/DC?\n"
+         f"mean AC/DC RWND = {result['mean_rwnd_mss']:.1f} MSS, "
+         f"mean host CWND = {result['mean_cwnd_mss']:.1f} MSS, "
+         f"RWND limiting {result['fraction_rwnd_limiting'] * 100:.1f}% "
+         "of samples")
+    # The paper: AC/DC's window is the limiter essentially always, while
+    # the unimpeded CUBIC CWND parks well above it.
+    assert result["fraction_rwnd_limiting"] > 0.95
+    assert result["mean_cwnd_mss"] > 1.5 * result["mean_rwnd_mss"]

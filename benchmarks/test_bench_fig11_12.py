@@ -1,0 +1,28 @@
+"""Fig. 11/12: CPU overhead — AC/DC adds < 1 percentage point."""
+
+from conftest import emit, run_once
+from repro.experiments import fig11_12_cpu_overhead as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_fig11_12(benchmark, capsys):
+    rows_data = run_once(
+        benchmark,
+        lambda: exp.run(counts=(100, 500, 1000, 5000, 10000), duration=0.12))
+    rows = [[r["connections"],
+             r["sender_baseline_pct"], r["sender_acdc_pct"],
+             r["sender_delta_pp"],
+             r["receiver_baseline_pct"], r["receiver_acdc_pct"],
+             r["receiver_delta_pp"]]
+            for r in rows_data]
+    emit(capsys, format_table(
+        ["conns", "snd_base_%", "snd_acdc_%", "snd_delta_pp",
+         "rcv_base_%", "rcv_acdc_%", "rcv_delta_pp"],
+        rows, title="Fig. 11/12 — CPU overhead, sender and receiver"))
+    for r in rows_data:
+        # The headline claim: less than one percentage point, every count.
+        assert 0 <= r["sender_delta_pp"] < 1.0, r["connections"]
+        assert 0 <= r["receiver_delta_pp"] < 1.0, r["connections"]
+    # Baseline CPU grows with connection count (the paper's bar shape).
+    senders = [r["sender_baseline_pct"] for r in rows_data]
+    assert senders == sorted(senders)

@@ -1,0 +1,23 @@
+"""Fig. 13: differentiated throughput via the QoS beta of Equation 1."""
+
+from conftest import emit, run_once
+from repro.experiments import fig13_qos_beta as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_fig13(benchmark, capsys):
+    rows_data = run_once(benchmark, lambda: exp.run(duration=0.6))
+    rows = [[r["combo"]] + [round(g, 2) for g in r["tput_gbps"]]
+            for r in rows_data]
+    emit(capsys, format_table(
+        ["betas", "F1", "F2", "F3", "F4", "F5"], rows,
+        title="Fig. 13 — per-flow throughput (Gb/s) under beta-priority CC"))
+    for r in rows_data:
+        # Higher beta class => higher mean throughput.
+        assert r["monotonic_in_beta"], r["combo"]
+        # Flows sharing a beta get similar throughput.
+        for beta, fairness in r["within_class_fairness"].items():
+            assert fairness > 0.92, (r["combo"], beta)
+    # The (4,4,4,0,0) case: beta-1 flows clearly dominate beta-0 flows.
+    extreme = rows_data[-1]
+    assert extreme["class_means_gbps"][1.0] > 1.5 * extreme["class_means_gbps"][0.0]

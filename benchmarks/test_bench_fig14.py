@@ -1,0 +1,29 @@
+"""Fig. 14: convergence test — flows join/leave a shared bottleneck."""
+
+from conftest import emit, run_once
+from repro.experiments import fig14_convergence as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_fig14(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(epoch=0.35))
+    rows = []
+    for scheme, data in result.items():
+        for epoch in data["epochs"]:
+            rows.append([scheme, f"{epoch['t_mid']:.2f}", epoch["active"],
+                         " ".join(f"{x:.0f}" for x in epoch["rates_mbps"]),
+                         epoch["max_share_error"]])
+    emit(capsys, format_table(
+        ["scheme", "t_mid_s", "active", "per-flow Mb/s", "max_share_err"],
+        rows, title="Fig. 14 — convergence (flows added/removed per epoch)"))
+    # DCTCP and AC/DC converge essentially drop-free (a handful of
+    # flow-start transients at most); CUBIC drops orders of magnitude more.
+    assert result["dctcp"]["drop_rate"] < 5e-5
+    assert result["acdc"]["drop_rate"] < 5e-5
+    assert result["cubic"]["drop_rate"] > 1e-3
+    # Steady epochs (skip each epoch right after a flow change): DCTCP and
+    # AC/DC stay near the fair share.
+    for scheme in ("dctcp", "acdc"):
+        errors = [e["max_share_error"]
+                  for e in result[scheme]["epochs"][2:]]
+        assert sum(errors) / len(errors) < 0.5, scheme

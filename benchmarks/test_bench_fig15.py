@@ -1,0 +1,21 @@
+"""Fig. 15: ECN coexistence — CUBIC starves next to DCTCP; AC/DC fixes it."""
+
+from conftest import emit, run_once
+from repro.experiments import fig15_16_ecn_coexistence as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_fig15(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.8))
+    rows = [[k, v["cubic_gbps"], v["dctcp_gbps"], v["cubic_share"],
+             v["drop_rate"] * 100] for k, v in result.items()]
+    emit(capsys, format_table(
+        ["config", "cubic_gbps", "dctcp_gbps", "cubic_share", "drop_%"],
+        rows, title="Fig. 15 — CUBIC (no ECN) vs DCTCP (ECN), same bottleneck"))
+    default = result["default"]
+    acdc = result["acdc"]
+    # Default: the non-ECT flow starves behind the marking threshold.
+    assert default["cubic_share"] < 0.1
+    # AC/DC: both flows become ECN-capable and split the link fairly.
+    assert 0.4 < acdc["cubic_share"] < 0.6
+    assert acdc["cubic_gbps"] + acdc["dctcp_gbps"] > 9.0

@@ -1,0 +1,24 @@
+"""Fig. 16: CUBIC's latency in the coexistence trap, with/without AC/DC."""
+
+from conftest import emit, run_once
+from repro.experiments import fig15_16_ecn_coexistence as exp
+from repro.experiments.report import format_cdf
+from repro.metrics import percentile
+
+
+def test_bench_fig16(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.8))
+    emit(capsys, "Fig. 16 — CUBIC-side message RTT (ms)\n" + "\n".join(
+        format_cdf(result[k]["rtt_samples"], f"CUBIC {k}", unit="ms",
+                   scale=1e3)
+        for k in ("default", "acdc")))
+    default = result["default"]["rtt_samples"]
+    acdc = result["acdc"]["rtt_samples"]
+    assert default and acdc
+    # Without AC/DC the tail is retransmission-dominated (tens of ms);
+    # with AC/DC it collapses to queueing delay (sub-ms).
+    assert percentile(default, 99) > 20 * percentile(acdc, 99)
+    assert percentile(acdc, 99) < 0.002
+    # The trap also shows up as real packet loss for the CUBIC flow.
+    assert result["default"]["cubic_retransmits"] > 0
+    assert result["acdc"]["cubic_retransmits"] == 0

@@ -1,0 +1,24 @@
+"""Fig. 17: AC/DC restores fairness across heterogeneous guest stacks."""
+
+from conftest import emit, run_once
+from repro.experiments import fig17_fairness_mixed_cc as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_fig17(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(runs=2, duration=0.6))
+    rows = []
+    for label, data in result.items():
+        for i, test in enumerate(data["tests"]):
+            rows.append([label, i + 1, test["max"], test["min"],
+                         test["mean"], test["median"], test["fairness"]])
+    emit(capsys, format_table(
+        ["config", "test", "max", "min", "mean", "median", "jain"],
+        rows, title="Fig. 17 — all-DCTCP vs 5 different CCs under AC/DC"))
+    acdc = result["acdc-mixed"]
+    dctcp = result["all-dctcp"]
+    # AC/DC over a heterogeneous mix tracks the all-DCTCP ideal.
+    assert acdc["mean_fairness"] > 0.97
+    assert abs(acdc["mean_fairness"] - dctcp["mean_fairness"]) < 0.03
+    for test in acdc["tests"]:
+        assert test["max"] - test["min"] < 0.8  # Gb/s spread stays small

@@ -1,0 +1,31 @@
+"""Fig. 18: incast throughput and fairness vs sender count."""
+
+from conftest import emit, run_once
+from repro.experiments import fig18_19_incast as exp
+from repro.experiments.report import format_table
+
+COUNTS = (16, 32, 47)
+
+
+def test_bench_fig18(benchmark, capsys):
+    rows_data = run_once(
+        benchmark, lambda: exp.run(counts=COUNTS, duration=0.35))
+    rows = []
+    for row in rows_data:
+        for scheme in ("cubic", "dctcp", "acdc"):
+            d = row[scheme]
+            rows.append([row["senders"], scheme, d["avg_tput_mbps"],
+                         d["fairness"]])
+    emit(capsys, format_table(
+        ["senders", "scheme", "avg_tput_mbps", "jain"], rows,
+        title="Fig. 18 — N-to-1 incast: throughput and fairness"))
+    for row in rows_data:
+        n = row["senders"]
+        fair_share = 10e3 / n  # Mb/s
+        for scheme in ("cubic", "dctcp", "acdc"):
+            # Everyone delivers roughly line-rate / N on average.
+            assert row[scheme]["avg_tput_mbps"] > 0.8 * fair_share, (n, scheme)
+        # DCTCP and AC/DC are near-perfectly fair; CUBIC is below.
+        assert row["dctcp"]["fairness"] > 0.99
+        assert row["acdc"]["fairness"] > 0.99
+        assert row["cubic"]["fairness"] < row["acdc"]["fairness"]

@@ -1,0 +1,33 @@
+"""Fig. 19: incast RTT and drop rate — AC/DC beats DCTCP's 2-MSS floor."""
+
+from conftest import emit, run_once
+from repro.experiments import fig18_19_incast as exp
+from repro.experiments.report import format_table
+
+COUNTS = (16, 32, 47)
+
+
+def test_bench_fig19(benchmark, capsys):
+    rows_data = run_once(
+        benchmark, lambda: exp.run(counts=COUNTS, duration=0.35))
+    rows = []
+    for row in rows_data:
+        for scheme in ("cubic", "dctcp", "acdc"):
+            d = row[scheme]
+            rows.append([row["senders"], scheme, d["rtt_p50_ms"],
+                         d["rtt_p999_ms"], d["drop_rate_pct"]])
+    emit(capsys, format_table(
+        ["senders", "scheme", "rtt_p50_ms", "rtt_p999_ms", "drop_%"], rows,
+        title="Fig. 19 — incast RTT and packet drops"))
+    for row in rows_data:
+        # CUBIC's RTT is the buffer-filling disaster.
+        assert row["cubic"]["rtt_p50_ms"] > 4 * row["dctcp"]["rtt_p50_ms"]
+        # AC/DC's byte-granular floor undercuts DCTCP's 2-packet floor.
+        assert row["acdc"]["rtt_p50_ms"] < row["dctcp"]["rtt_p50_ms"]
+        # AC/DC never drops; CUBIC does.
+        assert row["acdc"]["drop_rate_pct"] == 0.0
+        assert row["cubic"]["drop_rate_pct"] > 0.0
+    # DCTCP's RTT grows with N (the standing-queue effect the paper and
+    # Judd both observed); AC/DC's grows far slower.
+    dctcp_rtts = [r["dctcp"]["rtt_p50_ms"] for r in rows_data]
+    assert dctcp_rtts[-1] > 1.5 * dctcp_rtts[0]

@@ -1,0 +1,25 @@
+"""Fig. 20: RTT through the most congested port, ~all ports congested."""
+
+from conftest import emit, run_once
+from repro.experiments import fig20_all_ports_congested as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_fig20(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.5))
+    rows = [[k, v["rtt_ms"].get("p50"), v["rtt_ms"].get("p95"),
+             v["rtt_ms"].get("p99"), v["rtt_ms"].get("p999"),
+             v["drop_rate_pct"], v["fairness"]]
+            for k, v in result.items()]
+    emit(capsys, format_table(
+        ["scheme", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "drop_%",
+         "jain"],
+        rows, title="Fig. 20 — probe RTT with ~all switch ports congested"))
+    cubic, dctcp, acdc = (result[k] for k in ("cubic", "dctcp", "acdc"))
+    # CUBIC under buffer pressure: order-of-magnitude RTT inflation and
+    # a severely lossy hottest port.
+    assert cubic["rtt_ms"]["p50"] > 10 * acdc["rtt_ms"]["p50"]
+    assert cubic["rtt_ms"]["p999"] > 10 * acdc["rtt_ms"]["p999"]
+    assert cubic["drop_rate_pct"] > 0.5
+    # AC/DC keeps the shared buffer calm: zero drops.
+    assert acdc["drop_rate_pct"] == 0.0

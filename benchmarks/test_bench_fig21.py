@@ -1,0 +1,28 @@
+"""Fig. 21: concurrent-stride workload — mice and background FCTs."""
+
+from conftest import emit, run_once
+from repro.experiments import fig21_concurrent_stride as exp
+from repro.experiments.report import format_cdf
+from repro.metrics import percentile
+
+
+def test_bench_fig21(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run())
+    emit(capsys, "Fig. 21a — mice (16 KB) FCT (ms)\n" + "\n".join(
+        format_cdf(result[k]["mice_fcts"], f"mice {k}", unit="ms", scale=1e3)
+        for k in result))
+    emit(capsys, "Fig. 21b — background FCT (s)\n" + "\n".join(
+        format_cdf(result[k]["background_fcts"], f"bg {k}", unit="s")
+        for k in result))
+    cubic = result["cubic"]
+    acdc = result["acdc"]
+    dctcp = result["dctcp"]
+    assert all(v["mice_done"] > 0.95 for v in result.values())
+    # Mice: AC/DC (like DCTCP) cuts the CUBIC median and slashes the tail.
+    assert percentile(acdc["mice_fcts"], 50) < 0.5 * percentile(
+        cubic["mice_fcts"], 50)
+    assert percentile(acdc["mice_fcts"], 99.9) < 0.3 * percentile(
+        cubic["mice_fcts"], 99.9)
+    # Background transfers are not hurt.
+    assert percentile(acdc["background_fcts"], 50) <= 1.2 * percentile(
+        cubic["background_fcts"], 50)

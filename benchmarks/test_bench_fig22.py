@@ -1,0 +1,25 @@
+"""Fig. 22: shuffle workload — mice and background FCTs."""
+
+from conftest import emit, run_once
+from repro.experiments import fig22_shuffle as exp
+from repro.experiments.report import format_cdf
+from repro.metrics import percentile
+
+
+def test_bench_fig22(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run())
+    emit(capsys, "Fig. 22a — mice (16 KB) FCT (ms)\n" + "\n".join(
+        format_cdf(result[k]["mice_fcts"], f"mice {k}", unit="ms", scale=1e3)
+        for k in result))
+    emit(capsys, "Fig. 22b — background (shuffle block) FCT (s)\n" + "\n".join(
+        format_cdf(result[k]["background_fcts"], f"bg {k}", unit="s")
+        for k in result))
+    cubic, acdc = result["cubic"], result["acdc"]
+    # Mice gain sharply under AC/DC (paper: ~71% median reduction).
+    assert percentile(acdc["mice_fcts"], 50) < 0.5 * percentile(
+        cubic["mice_fcts"], 50)
+    # Large transfers complete comparably (within ~30% median).
+    assert percentile(acdc["background_fcts"], 50) < 1.3 * percentile(
+        cubic["background_fcts"], 50)
+    # Most of the shuffle finished inside the window for every scheme.
+    assert all(v["background_done"] > 0.85 for v in result.values())

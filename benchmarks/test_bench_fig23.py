@@ -1,0 +1,24 @@
+"""Fig. 23: trace-driven workloads — mice FCT CDFs."""
+
+from conftest import emit, run_once
+from repro.experiments import fig23_trace_driven as exp
+from repro.experiments.report import format_cdf
+from repro.metrics import percentile
+
+
+def test_bench_fig23(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=1.2))
+    for workload, schemes in result.items():
+        emit(capsys, f"Fig. 23 — {workload}: mice (<10 KB) FCT (ms)\n"
+             + "\n".join(
+                 format_cdf(schemes[k]["mice_fcts"], f"{workload} {k}",
+                            unit="ms", scale=1e3)
+                 for k in schemes))
+    for workload, schemes in result.items():
+        cubic = schemes["cubic"]["mice_fcts"]
+        dctcp = schemes["dctcp"]["mice_fcts"]
+        acdc = schemes["acdc"]["mice_fcts"]
+        assert cubic and dctcp and acdc
+        # AC/DC tracks DCTCP and clearly beats CUBIC at the tail.
+        assert percentile(acdc, 99.9) < 0.8 * percentile(cubic, 99.9), workload
+        assert percentile(acdc, 50) <= 1.5 * percentile(dctcp, 50), workload

@@ -1,0 +1,22 @@
+"""§5.1 parking-lot topology: multi-bottleneck throughput/fairness/RTT."""
+
+from conftest import emit, run_once
+from repro.experiments import parking_lot_results as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_parking_lot(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.6))
+    rows = [[k, v["avg_tput_gbps"], v["fairness"],
+             v["rtt"].get("p50", 0) * 1e6, v["rtt"].get("p999", 0) * 1e6]
+            for k, v in result.items()]
+    emit(capsys, format_table(
+        ["scheme", "avg_gbps", "jain", "rtt_p50_us", "rtt_p999_us"], rows,
+        title="§5.1 — parking lot (Fig. 7b), 5 flows"))
+    # Paper: DCTCP/AC-DC fairness 0.99 vs CUBIC 0.94; RTT ~130 us vs ms.
+    assert result["acdc"]["fairness"] > result["cubic"]["fairness"]
+    assert result["acdc"]["fairness"] > 0.97
+    assert result["dctcp"]["fairness"] > 0.97
+    assert result["cubic"]["rtt"]["p50"] > 5 * result["acdc"]["rtt"]["p50"]
+    assert abs(result["acdc"]["avg_tput_gbps"]
+               - result["dctcp"]["avg_tput_gbps"]) < 0.2

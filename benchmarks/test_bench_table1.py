@@ -1,0 +1,34 @@
+"""Table 1: AC/DC works with many guest congestion-control variants."""
+
+from conftest import emit, run_once
+from repro.experiments import table1_cc_variants as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_table1(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(duration=0.4))
+    for mtu, rows_data in result.items():
+        rows = [[r["variant"], r["rtt_p50_us"], r["rtt_p99_us"],
+                 r["avg_tput_gbps"], r["fairness"]] for r in rows_data]
+        emit(capsys, format_table(
+            ["variant", "rtt_p50_us", "rtt_p99_us", "avg_gbps", "jain"],
+            rows, title=f"Table 1 — MTU {mtu}"))
+        by_name = {r["variant"]: r for r in rows_data}
+        dctcp_star = by_name["DCTCP*"]
+        cubic_star = by_name["CUBIC*"]
+        # CUBIC* is the outlier: big RTT, worse fairness.
+        assert cubic_star["rtt_p50_us"] > 5 * dctcp_star["rtt_p50_us"]
+        # Every guest stack under AC/DC tracks DCTCP*.
+        for name, row in by_name.items():
+            if not name.startswith("AC/DC"):
+                continue
+            assert row["rtt_p50_us"] < 2.0 * dctcp_star["rtt_p50_us"], name
+            assert abs(row["avg_tput_gbps"]
+                       - dctcp_star["avg_tput_gbps"]) < 0.2, name
+            # Vegas at 1.5 KB MTU self-limits below AC/DC's enforcement
+            # point (its 4-packet backlog target x 5 flows stays under K,
+            # so no marks ever bind RWND) and keeps its own ~0.94
+            # fairness; every other guest/MTU reaches the paper's 0.99.
+            # See EXPERIMENTS.md.
+            floor = 0.90 if (name == "AC/DC(vegas)" and mtu == 1500) else 0.97
+            assert row["fairness"] > floor, name

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Incast: why AC/DC's byte-granular window beats even native DCTCP.
+
+A partition/aggregate stage fans 40 workers into one aggregator.  DCTCP's
+Linux implementation floors the congestion window at 2 packets, so with
+N senders the switch queue holds at least N x 2 x MSS bytes — the RTT
+grows linearly with fan-in (§5.2, Fig. 19).  AC/DC enforces a *byte*
+window (RWND) and can go below that floor.
+
+Run:  python examples/incast_burst.py
+"""
+
+from repro import AcdcConfig, AcdcVswitch, PlainOvs, Simulator
+from repro.net.topology import star
+from repro.metrics import RttRecorder, jain_index, percentile
+from repro.workloads import BulkSender, EchoSink, PingPong, Sink
+
+SENDERS = 40
+DURATION = 0.4
+
+
+def run(scheme: str) -> dict:
+    sim = Simulator()
+    ecn = scheme != "cubic"
+    topo, hosts, switch = star(sim, SENDERS + 1, mtu=9000, ecn_enabled=ecn)
+    receiver, workers = hosts[0], hosts[1:]
+    for host in hosts:
+        if scheme == "acdc":
+            host.attach_vswitch(AcdcVswitch(host))
+        else:
+            host.attach_vswitch(PlainOvs(host))
+    opts = {"cc": "dctcp", "ecn": True} if scheme == "dctcp" else {"cc": "cubic"}
+    Sink(receiver, 5000, **opts)
+    flows = [BulkSender(sim, w, receiver.addr, 5000, send_at=0.01,
+                        conn_opts=dict(opts)) for w in workers]
+    rtts = RttRecorder()
+    EchoSink(receiver, 6000, **opts)
+    PingPong(sim, workers[0], receiver.addr, 6000, rtts, interval_s=0.002,
+             warmup_s=0.1, conn_opts=dict(opts))
+    sim.run(until=DURATION)
+    tputs = [f.bytes_acked * 8 / DURATION for f in flows]
+    return {
+        "rtt_p50_ms": percentile(rtts.samples, 50) * 1e3,
+        "fairness": jain_index(tputs),
+        "drops": switch.total_drops(),
+    }
+
+
+def main() -> None:
+    print(f"{SENDERS}-to-1 incast of long-lived flows, 10 GbE, 9 KB MTU\n")
+    print(f"{'scheme':8} {'rtt_p50':>9} {'jain':>7} {'switch drops':>13}")
+    for scheme in ("cubic", "dctcp", "acdc"):
+        r = run(scheme)
+        print(f"{scheme:8} {r['rtt_p50_ms']:7.2f}ms {r['fairness']:7.3f} "
+              f"{r['drops']:13}")
+    print("\nDCTCP's 2-packet CWND floor keeps a standing queue that grows "
+          "with fan-in;\nAC/DC's byte-granular RWND halves it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""AC/DC TCP: the paper's contribution — congestion control in the vSwitch."""
+
+from .acdc import AcdcConfig, AcdcVswitch, PlainOvs
+from .conntrack import AckVerdict, ConnTrack, DUPACK_THRESHOLD
+from .dctcp_vswitch import VswitchDctcp
+from .enforcement import Policer, WindowEnforcer
+from .feedback import FeedbackReader, ReceiverFeedback
+from .flow_table import FLOW_ENTRY_BYTES, FlowEntry, FlowTable
+from .ops import OPS, OpsCounter
+from .policy import FlowPolicy, PolicyEngine
+from .priority import priority_decrease, rwnd_cap_for_rate, validate_beta
+from .vswitch_cc import (
+    VSWITCH_CC_REGISTRY,
+    VswitchCongestionControl,
+    VswitchCubic,
+    VswitchReno,
+    make_vswitch_cc,
+)
+
+__all__ = [
+    "AcdcConfig",
+    "AcdcVswitch",
+    "AckVerdict",
+    "ConnTrack",
+    "DUPACK_THRESHOLD",
+    "FLOW_ENTRY_BYTES",
+    "FlowEntry",
+    "FlowPolicy",
+    "FlowTable",
+    "FeedbackReader",
+    "OPS",
+    "OpsCounter",
+    "PlainOvs",
+    "Policer",
+    "PolicyEngine",
+    "ReceiverFeedback",
+    "VSWITCH_CC_REGISTRY",
+    "VswitchCongestionControl",
+    "VswitchCubic",
+    "VswitchDctcp",
+    "VswitchReno",
+    "make_vswitch_cc",
+    "WindowEnforcer",
+    "priority_decrease",
+    "rwnd_cap_for_rate",
+    "validate_beta",
+]

@@ -1,0 +1,371 @@
+"""The AC/DC vSwitch datapath (§3, §4).
+
+One :class:`AcdcVswitch` instance sits in each host's packet path (the
+OVS stand-in) and combines the pieces of ``repro.core``:
+
+* **egress data** (VM → wire): flow-table lookup, conntrack ``snd_nxt``
+  update, ECT marking (+ reserved ``vm_ect`` bit), optional policing of
+  non-conforming stacks;
+* **egress ACKs** (VM → wire): the receiver module piggy-backs its
+  total/marked byte counters as a PACK option, or emits a dedicated FACK
+  when the option would not fit in the MTU;
+* **ingress data** (wire → VM): receiver-module counter update, then CE/ECN
+  scrubbing so the VM never reacts to congestion on its own;
+* **ingress ACKs** (wire → VM): feedback extraction (FACKs are consumed),
+  conntrack ACK classification, the Fig. 5 DCTCP computation, and RWND
+  enforcement honouring the window scale snooped from the handshake.
+
+Every action records into an :class:`~repro.core.ops.OpsCounter`, which is
+what the Fig. 11/12 CPU-overhead model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..net.packet import ECN_ECT0, FlowKey, Packet
+from ..sim.timers import Timer
+from .ecn import mark_egress_data, scrub_ingress_ack, scrub_ingress_data
+from .enforcement import Policer, WindowEnforcer
+from .flow_table import FlowEntry, FlowTable
+from .ops import OpsCounter
+from .policy import PolicyEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.host import Host
+
+#: window-sample callback: (flow key, virtual time, window bytes)
+WindowCallback = Callable[[FlowKey, float, int], None]
+
+
+@dataclass
+class AcdcConfig:
+    """Tunables of the datapath; defaults match the paper's deployment."""
+
+    enforce: bool = True                 # rewrite RWND on ACKs to the VM
+    log_only: bool = False               # Fig. 9: compute but never rewrite
+    police: bool = False                 # drop data beyond the window
+    policing_slack_segments: int = 2
+    hide_ecn: bool = True                # strip ECE from ACKs to the VM
+    feedback_mode: str = "pack"          # "pack" (FACK fallback) | "fack-only"
+    min_wnd_bytes: Optional[int] = None  # None -> 1 MSS (byte-granular floor)
+    inactivity_timeout: float = 0.010    # timeout inference (§3.1), = RTOmin
+    # §3.3 flexibility: push a fabricated window update to the VM when the
+    # window changes while no ACKs are flowing (after an inferred timeout).
+    proactive_window_updates: bool = False
+    gc_interval: float = 1.0
+    idle_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.feedback_mode not in ("pack", "fack-only"):
+            raise ValueError(f"unknown feedback mode {self.feedback_mode!r}")
+
+
+class AcdcVswitch:
+    """Administrator Control over Datacenter TCP, in the vSwitch."""
+
+    def __init__(
+        self,
+        host: "Host",
+        config: Optional[AcdcConfig] = None,
+        policy: Optional[PolicyEngine] = None,
+        ops: Optional[OpsCounter] = None,
+        window_cb: Optional[WindowCallback] = None,
+    ):
+        self.sim = host.sim
+        self.host = host
+        self.config = config if config is not None else AcdcConfig()
+        self.policy = policy if policy is not None else PolicyEngine()
+        self.ops = ops if ops is not None else OpsCounter()
+        self.window_cb = window_cb
+        self.mss = host.mss
+        self.mtu = host.mtu
+        self.table = FlowTable(
+            self.sim, gc_interval=self.config.gc_interval,
+            idle_timeout=self.config.idle_timeout,
+        )
+        self.table.start_gc()
+        self.policer = Policer(self.config.policing_slack_segments)
+
+    # ------------------------------------------------------------------
+    # Entry management
+    # ------------------------------------------------------------------
+    def _sender_entry(self, key: FlowKey, create: bool = False) -> Optional[FlowEntry]:
+        """Entry for a locally-sourced data direction."""
+        if create:
+            entry = self.table.ensure(key, self.policy.policy_for(key), self.mss)
+            self._apply_config_floor(entry)
+            self.ops.record("flow_insert")
+            return entry
+        return self.table.lookup(key)
+
+    def _apply_config_floor(self, entry: FlowEntry) -> None:
+        if self.config.min_wnd_bytes is not None:
+            entry.vswitch_cc.min_wnd = self.config.min_wnd_bytes
+
+    def _ensure_both_directions(self, pkt: Packet) -> None:
+        """SYN handling: create entries for both flow directions (§4)."""
+        for key in (pkt.flow_key(), pkt.reverse_key()):
+            entry = self.table.ensure(key, self.policy.policy_for(key), self.mss)
+            self._apply_config_floor(entry)
+        self.ops.record("flow_insert", 2)
+
+    # ------------------------------------------------------------------
+    # Egress: VM -> wire
+    # ------------------------------------------------------------------
+    def egress(self, pkt: Packet) -> Optional[Packet]:
+        self.ops.packets_egress += 1
+        self.ops.record("flow_lookup")
+        self.ops.record("forward")  # AC/DC is OVS forwarding *plus* CC
+        if pkt.syn:
+            self._ensure_both_directions(pkt)
+            entry = self.table.lookup(pkt.flow_key())
+            if entry is not None:
+                entry.conntrack.on_egress_syn(pkt, now=self.sim.now)
+                if entry.policy.enforced:
+                    self._mark_control_packet(pkt)
+            return pkt
+        if pkt.payload_len > 0:
+            out = self._egress_data(pkt)
+            if out is None:
+                return None
+        if pkt.ack and pkt.payload_len == 0:
+            self._egress_feedback(pkt)
+            # "All egress packets are marked to be ECN-capable" (§3.2):
+            # a pure ACK through a congested port must not hit the
+            # non-ECT WRED drop profile either.
+            entry = self.table.lookup(pkt.reverse_key())
+            if entry is not None and entry.policy.enforced:
+                self._mark_control_packet(pkt)
+        if pkt.fin:
+            self.table.mark_fin(pkt.flow_key())
+            self.table.mark_fin(pkt.reverse_key())
+        return pkt
+
+    def _mark_control_packet(self, pkt: Packet) -> None:
+        """ECT-mark a non-data packet, remembering the VM's own setting."""
+        if not pkt.ect:
+            pkt.vm_ect = False
+            pkt.ecn = ECN_ECT0
+            self.ops.record("ecn_mark")
+            self.ops.record("checksum_recalc")
+        else:
+            pkt.vm_ect = True
+
+    def _egress_data(self, pkt: Packet) -> Optional[Packet]:
+        entry = self._sender_entry(pkt.flow_key())
+        if entry is None or not entry.policy.enforced:
+            return pkt
+        entry.conntrack.on_egress_data(pkt)
+        self.ops.record("seq_update")
+        if mark_egress_data(pkt):
+            self.ops.record("ecn_mark")
+            self.ops.record("checksum_recalc")
+        entry.vm_ect = pkt.vm_ect
+        if self.config.police:
+            self.ops.record("policing_check")
+            snd_una = entry.conntrack.snd_una
+            base = snd_una if snd_una is not None else pkt.seq
+            if not self.policer.allow(pkt, base, entry.enforced_wnd, self.mss):
+                return None
+        self._arm_inactivity(entry)
+        return pkt
+
+    def _egress_feedback(self, ack: Packet) -> None:
+        """Receiver module: report counters for the reverse data direction."""
+        entry = self.table.lookup(ack.reverse_key())
+        if entry is None or not entry.policy.enforced:
+            return
+        feedback = entry.receiver_feedback
+        if feedback.total_bytes == 0:
+            return  # nothing to report yet
+        piggyback = (
+            self.config.feedback_mode == "pack"
+            and feedback.can_piggyback(ack, self.mtu)
+        )
+        if piggyback:
+            feedback.attach_pack(ack)
+            self.ops.record("pack_attach")
+            self.ops.record("checksum_recalc")
+        else:
+            fack = feedback.make_fack(ack)
+            self.ops.record("fack_create")
+            self.host.wire_out(fack)
+
+    # ------------------------------------------------------------------
+    # Ingress: wire -> VM
+    # ------------------------------------------------------------------
+    def ingress(self, pkt: Packet) -> Optional[Packet]:
+        self.ops.packets_ingress += 1
+        self.ops.record("flow_lookup")
+        self.ops.record("forward")
+        if pkt.syn:
+            self._ingress_syn(pkt)
+            return pkt
+        if pkt.ack:
+            consumed = self._ingress_ack(pkt)
+            if consumed:
+                return None
+        if pkt.payload_len > 0:
+            self._ingress_data(pkt)
+        if pkt.fin:
+            self.table.mark_fin(pkt.flow_key())
+            self.table.mark_fin(pkt.reverse_key())
+        return pkt
+
+    def _ingress_syn(self, pkt: Packet) -> None:
+        """Handshake snooping: learn the remote peer's window scale (§3.3)."""
+        self._ensure_both_directions(pkt)
+        sender_entry = self.table.lookup(pkt.reverse_key())
+        if sender_entry is not None and pkt.wscale is not None:
+            sender_entry.peer_wscale = pkt.wscale
+        if pkt.ack and sender_entry is not None:
+            # SYN-ACK also acknowledges our SYN.
+            sender_entry.conntrack.on_ingress_ack(pkt, self.sim.now)
+        if (sender_entry is not None and sender_entry.policy.enforced
+                and not self.config.log_only and scrub_ingress_data(pkt)):
+            self.ops.record("ecn_strip")
+            self.ops.record("checksum_recalc")
+
+    def _ingress_ack(self, pkt: Packet) -> bool:
+        """Sender module on an incoming ACK.  Returns True if consumed."""
+        entry = self.table.lookup(pkt.reverse_key())
+        if entry is None or not entry.policy.enforced:
+            return bool(pkt.is_fack)
+        verdict = entry.conntrack.on_ingress_ack(pkt, self.sim.now)
+        self.ops.record("seq_update")
+        total_delta, marked_delta = entry.feedback_reader.consume(pkt.pack)
+        if pkt.pack is not None:
+            self.ops.record("feedback_extract")
+            pkt.pack = None  # stripped before the VM can see it
+        cc = entry.vswitch_cc
+        wnd = cc.on_ack(
+            snd_una=entry.conntrack.snd_una or 0,
+            snd_nxt=entry.conntrack.snd_nxt or 0,
+            newly_acked=verdict.newly_acked,
+            feedback_total=total_delta,
+            feedback_marked=marked_delta,
+            loss=verdict.loss_detected,
+        )
+        self.ops.record("cc_update")
+        entry.enforced_wnd = wnd
+        if self.window_cb is not None:
+            self.window_cb(entry.key, self.sim.now, wnd)
+        if pkt.is_fack:
+            return True  # dropped after logging the data (§3.2)
+        if self.config.enforce and not self.config.log_only:
+            if entry.enforcer.enforce(pkt, wnd, entry.peer_wscale):
+                self.ops.record("rwnd_rewrite")
+                self.ops.record("checksum_recalc")
+        # In log-only mode the host stack stays in charge, so it must keep
+        # seeing its own congestion feedback (Fig. 9 methodology).
+        if self.config.hide_ecn and not self.config.log_only:
+            if scrub_ingress_ack(pkt):
+                self.ops.record("ecn_strip")
+                self.ops.record("checksum_recalc")
+            # Restore the IP codepoint of *pure* ACKs; a data packet that
+            # carries an ACK is scrubbed by the receiver module instead
+            # (after its CE mark has been counted).
+            if pkt.payload_len == 0 and scrub_ingress_data(pkt):
+                self.ops.record("ecn_strip")
+                self.ops.record("checksum_recalc")
+        if entry.conntrack.bytes_outstanding > 0:
+            self._arm_inactivity(entry)
+        elif entry.inactivity_timer is not None:
+            entry.inactivity_timer.stop()
+        return False
+
+    def _ingress_data(self, pkt: Packet) -> None:
+        """Receiver module on arriving data: count, then scrub ECN."""
+        entry = self.table.ensure(
+            pkt.flow_key(), self.policy.policy_for(pkt.flow_key()), self.mss)
+        if not entry.policy.enforced:
+            return
+        entry.receiver_feedback.on_data(pkt)
+        self.ops.record("counters_update")
+        if self.config.log_only or not self.config.hide_ecn:
+            # The VM keeps its CE marks: log-only mode (Fig. 9) or the
+            # hide-ECN ablation, where the guest reacts on its own too.
+            return
+        if scrub_ingress_data(pkt):
+            self.ops.record("ecn_strip")
+            self.ops.record("checksum_recalc")
+
+    # ------------------------------------------------------------------
+    # Timeout inference (§3.1)
+    # ------------------------------------------------------------------
+    def _arm_inactivity(self, entry: FlowEntry) -> None:
+        if entry.inactivity_timer is None:
+            entry.inactivity_timer = Timer(
+                self.sim, lambda e=entry: self._inactivity_fired(e))
+        # Adapt to the flow's ACK cadence: on a long (WAN) path, ACKs
+        # legitimately arrive one RTT apart, and a fixed datacenter-scale
+        # timer would infer a timeout every round trip.
+        delay = max(self.config.inactivity_timeout,
+                    4.0 * entry.conntrack.ack_gap_estimate)
+        entry.inactivity_timer.start(delay)
+
+    def _inactivity_fired(self, entry: FlowEntry) -> None:
+        if entry.key not in self.table.entries:
+            return
+        if entry.conntrack.infer_timeout():
+            wnd = entry.vswitch_cc.on_timeout(
+                entry.conntrack.snd_una or 0, entry.conntrack.snd_nxt or 0)
+            entry.enforced_wnd = wnd
+            if self.window_cb is not None:
+                self.window_cb(entry.key, self.sim.now, wnd)
+            if self.config.proactive_window_updates:
+                # No ACKs are flowing to carry the new window, so tell
+                # the VM directly (§3.3's fabricated window update).
+                self.send_window_update(entry.key)
+
+    # ------------------------------------------------------------------
+    # Fabricated control packets (§3.3)
+    # ------------------------------------------------------------------
+    def send_window_update(self, key: FlowKey) -> bool:
+        """Deliver a fabricated window update for flow ``key`` to the VM.
+
+        Useful when the enforced window grew but no ACKs are flowing.
+        """
+        entry = self.table.lookup(key)
+        if entry is None or entry.conntrack.snd_una is None:
+            return False
+        update = WindowEnforcer.make_window_update(
+            (key[2], key[3], key[0], key[1]),
+            entry.conntrack.snd_una, entry.enforced_wnd, entry.peer_wscale)
+        self.host.deliver(update)
+        return True
+
+    def send_dupacks(self, key: FlowKey, count: int = 3) -> bool:
+        """Deliver fabricated duplicate ACKs to trigger fast retransmit in
+        the VM (for stacks whose RTO is far larger than AC/DC's)."""
+        entry = self.table.lookup(key)
+        if entry is None or entry.conntrack.snd_una is None:
+            return False
+        for _ in range(count):
+            dup = WindowEnforcer.make_dupack(
+                (key[2], key[3], key[0], key[1]),
+                entry.conntrack.snd_una, entry.enforced_wnd, entry.peer_wscale)
+            self.host.deliver(dup)
+        return True
+
+
+class PlainOvs:
+    """The unmodified-OVS baseline: forward and count, nothing else."""
+
+    def __init__(self, host: "Host", ops: Optional[OpsCounter] = None):
+        self.host = host
+        self.ops = ops if ops is not None else OpsCounter()
+
+    def egress(self, pkt: Packet) -> Optional[Packet]:
+        self.ops.packets_egress += 1
+        self.ops.record("flow_lookup")
+        self.ops.record("forward")
+        return pkt
+
+    def ingress(self, pkt: Packet) -> Optional[Packet]:
+        self.ops.packets_ingress += 1
+        self.ops.record("flow_lookup")
+        self.ops.record("forward")
+        return pkt

@@ -1,0 +1,55 @@
+"""ECN header manipulation (§3.2, "ECN marking").
+
+Egress (sender module): every data packet leaving the VM is made
+ECN-capable so switches can mark instead of drop, and a reserved header
+bit records whether the VM's own stack had set ECT — that is the only
+state needed to restore the packet faithfully at the far end.
+
+Ingress: CE marks and ECE echoes are hidden from the VM.  For a
+non-ECN VM everything ECN-related is stripped; for an ECN-capable VM only
+the congestion signals (CE, ECE) are removed, so the VM's conservative
+halving never triggers — AC/DC's proportional DCTCP reaction replaces it.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import ECN_CE, ECN_ECT0, ECN_NOT_ECT, Packet
+
+
+def mark_egress_data(pkt: Packet) -> bool:
+    """Make an egress data packet ECN-capable; remember the VM's setting.
+
+    Returns True if the header changed (drives checksum accounting).
+    """
+    pkt.vm_ect = pkt.ect
+    if pkt.ecn == ECN_ECT0:
+        return False
+    pkt.ecn = ECN_ECT0
+    return True
+
+
+def scrub_ingress_data(pkt: Packet) -> bool:
+    """Restore the ECN field the VM expects on an arriving data packet.
+
+    CE becomes ECT(0) for an ECN-capable VM (strip the congestion signal
+    only) and Not-ECT for a legacy VM (strip everything).  Returns True if
+    the header changed.
+    """
+    original = pkt.ecn
+    if pkt.vm_ect:
+        if pkt.ecn == ECN_CE:
+            pkt.ecn = ECN_ECT0
+    else:
+        pkt.ecn = ECN_NOT_ECT
+    return pkt.ecn != original
+
+
+def scrub_ingress_ack(pkt: Packet) -> bool:
+    """Hide ECN feedback (ECE) from the sender VM's stack.
+
+    The VM must not react to congestion on its own — AC/DC already did,
+    proportionally.  Returns True if the header changed.
+    """
+    changed = pkt.ece
+    pkt.ece = False
+    return changed

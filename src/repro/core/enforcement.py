@@ -1,0 +1,86 @@
+"""Congestion-window enforcement via the receive window (§3.3).
+
+TCP's flow control is repurposed: the vSwitch computes a congestion window
+and writes it into the RWND field of ACKs headed for the VM, so an
+unmodified stack obeys ``min(CWND, RWND)`` by construction.  Two rules
+from the paper:
+
+* the field is only overwritten when the computed window is *smaller*
+  than the original advertisement (TCP semantics preserved — never lie
+  upward about buffer space);
+* the rewrite must honour the window scale the advertising peer
+  negotiated, which the datapath snoops from the handshake.
+
+Flows that ignore RWND can be policed: data beyond
+``snd_una + window + slack`` is dropped in the vSwitch, which removes any
+incentive to cheat.  The module can also fabricate window updates and
+duplicate ACKs (the flexibility §3.3 describes).
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+
+
+class WindowEnforcer:
+    """Rewrites RWND on ACKs delivered to the VM."""
+
+    def __init__(self) -> None:
+        self.rewrites = 0
+        self.passes = 0   # ACKs whose original RWND was already tighter
+
+    def enforce(self, ack: Packet, window_bytes: int, peer_wscale: int) -> bool:
+        """Overwrite the ACK's window if ours is smaller; report whether
+        the header changed."""
+        original = ack.advertised_window(peer_wscale)
+        if window_bytes >= original:
+            self.passes += 1
+            return False
+        ack.set_advertised_window(window_bytes, peer_wscale)
+        self.rewrites += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Fabricated control packets (§3.3 "surprising amount of flexibility")
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_window_update(template_key: tuple, ack_seq: int,
+                           window_bytes: int, peer_wscale: int) -> Packet:
+        """A pure window-update ACK (no data, no feedback) for the VM."""
+        src, sport, dst, dport = template_key
+        pkt = Packet(src=src, sport=sport, dst=dst, dport=dport,
+                     ack=True, ack_seq=ack_seq)
+        pkt.set_advertised_window(window_bytes, peer_wscale)
+        return pkt
+
+    @staticmethod
+    def make_dupack(template_key: tuple, ack_seq: int,
+                    window_bytes: int, peer_wscale: int) -> Packet:
+        """A fabricated duplicate ACK to trigger the VM's fast retransmit
+        (useful when the VM's RTO is far larger than AC/DC's inference)."""
+        pkt = WindowEnforcer.make_window_update(
+            template_key, ack_seq, window_bytes, peer_wscale)
+        return pkt
+
+
+class Policer:
+    """Drops egress data a non-conforming stack sends beyond the window."""
+
+    def __init__(self, slack_segments: int = 2):
+        if slack_segments < 0:
+            raise ValueError("slack must be non-negative")
+        self.slack_segments = slack_segments
+        self.drops = 0
+
+    def allow(self, pkt: Packet, snd_una: int, window_bytes: int, mss: int) -> bool:
+        """True if the data packet fits within the enforced window.
+
+        The slack absorbs the legitimate cases where a conforming stack
+        momentarily exceeds the window (sub-MSS windows rounded up to one
+        segment, window shrinkage racing packets already in the stack).
+        """
+        limit = snd_una + window_bytes + self.slack_segments * mss
+        if pkt.end_seq <= limit:
+            return True
+        self.drops += 1
+        return False

@@ -1,0 +1,86 @@
+"""ECN feedback channel between receiver and sender modules (§3.2).
+
+The receiver module keeps two cumulative per-flow counters — total payload
+bytes received and the subset that arrived CE-marked — and ships them back
+to the sender module:
+
+* **PACK** (piggy-backed ACK): an 8-byte TCP option added to the ACKs the
+  VM is already sending.  This is the common case.
+* **FACK** (fake ACK): a dedicated feedback packet, used when attaching
+  the option would push the ACK past the MTU (TSO would otherwise
+  replicate the option and skew the totals).  FACKs are consumed by the
+  sender module and never reach the VM.
+
+The sender module turns the cumulative totals into deltas for the Fig. 5
+algorithm; cumulative encoding makes the channel robust to reordered or
+lost feedback (a later report supersedes an earlier one).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.packet import PACK_OPTION, Packet, PackOption
+
+
+class ReceiverFeedback:
+    """Receiver-module counters for one flow (lives in its flow entry)."""
+
+    def __init__(self) -> None:
+        self.total_bytes = 0
+        self.marked_bytes = 0
+        self.packs_attached = 0
+        self.facks_created = 0
+
+    def on_data(self, pkt: Packet) -> None:
+        """Account an arriving data packet (before ECN scrubbing)."""
+        self.total_bytes += pkt.payload_len
+        if pkt.ce:
+            self.marked_bytes += pkt.payload_len
+
+    # ------------------------------------------------------------------
+    def can_piggyback(self, ack: Packet, mtu: int) -> bool:
+        """Would adding the PACK option keep the ACK within the MTU?"""
+        return ack.size + PACK_OPTION <= mtu
+
+    def attach_pack(self, ack: Packet) -> None:
+        """Piggy-back the current totals on an egress ACK."""
+        ack.pack = PackOption(total_bytes=self.total_bytes,
+                              marked_bytes=self.marked_bytes)
+        self.packs_attached += 1
+
+    def make_fack(self, ack: Packet) -> Packet:
+        """Build the dedicated feedback packet mirroring ``ack``'s flow."""
+        fack = Packet(
+            src=ack.src, sport=ack.sport, dst=ack.dst, dport=ack.dport,
+            ack=True, ack_seq=ack.ack_seq, rwnd_field=ack.rwnd_field,
+            is_fack=True,
+            pack=PackOption(total_bytes=self.total_bytes,
+                            marked_bytes=self.marked_bytes),
+        )
+        self.facks_created += 1
+        return fack
+
+
+class FeedbackReader:
+    """Sender-module side: cumulative report -> per-ACK deltas."""
+
+    def __init__(self) -> None:
+        self.last_total = 0
+        self.last_marked = 0
+
+    def consume(self, pack: Optional[PackOption]) -> tuple:
+        """Return (total_delta, marked_delta) for this report.
+
+        Stale or absent reports yield (0, 0); the counters only move
+        forward, so reordered feedback cannot double-count.
+        """
+        if pack is None:
+            return (0, 0)
+        if pack.total_bytes < self.last_total:
+            return (0, 0)
+        total_delta = pack.total_bytes - self.last_total
+        marked_delta = max(0, pack.marked_bytes - self.last_marked)
+        self.last_total = pack.total_bytes
+        self.last_marked = max(self.last_marked, pack.marked_bytes)
+        return (total_delta, marked_delta)

@@ -1,0 +1,60 @@
+"""Datapath operation accounting.
+
+The paper measures AC/DC's CPU cost with ``sar`` on a real host (Fig. 11
+and 12).  In simulation we instead *count the operations the datapath
+actually performs* — flow-table lookups, sequence updates, header
+rewrites, checksum recalculations, PACK attachment, congestion-control
+updates — and let :mod:`repro.metrics.cpu_model` convert counts into a CPU
+utilisation estimate.  Both the plain-OVS baseline and AC/DC record into
+the same counter vocabulary so the *difference* is exactly the extra work
+AC/DC adds per packet.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+#: Canonical operation names (anything else raises, to catch typos).
+OPS = frozenset({
+    "flow_lookup",        # hash-table lookup (every packet, baseline too)
+    "flow_insert",        # SYN handling
+    "flow_remove",        # FIN/GC
+    "seq_update",         # conntrack snd_nxt/snd_una maintenance
+    "ecn_mark",           # egress ECT marking
+    "ecn_strip",          # ingress CE/ECE scrubbing
+    "counters_update",    # receiver-module total/marked byte counters
+    "pack_attach",        # PACK option insertion
+    "fack_create",        # dedicated feedback packet
+    "feedback_extract",   # PACK/FACK consumption at the sender module
+    "cc_update",          # Fig. 5 congestion-control execution
+    "rwnd_rewrite",       # enforcement memcpy
+    "policing_check",     # non-conforming flow policing
+    "checksum_recalc",    # IP checksum after any header change
+    "forward",            # baseline OVS forwarding action
+})
+
+
+class OpsCounter:
+    """Named counters for datapath work, split by direction."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+        self.packets_egress = 0
+        self.packets_ingress = 0
+
+    def record(self, op: str, n: int = 1) -> None:
+        if op not in OPS:
+            raise KeyError(f"unknown datapath op {op!r}")
+        self.counts[op] += n
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.packets_egress = 0
+        self.packets_ingress = 0

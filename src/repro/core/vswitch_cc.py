@@ -1,0 +1,211 @@
+"""Pluggable congestion control for the vSwitch datapath.
+
+The paper's prototype enforces DCTCP, but §3.1 is explicit that the
+inferred state (snd_una/snd_nxt/dupacks/timeouts, plus ECN feedback) is
+enough to "determine appropriate CWND values for canonical TCP congestion
+control schemes", and §3.4 assigns different algorithms per flow (e.g.
+CUBIC for WAN-bound traffic).  This module provides that generality:
+
+* :class:`VswitchCongestionControl` — the interface the AC/DC sender
+  module drives (one call per ACK, one per inferred timeout);
+* :class:`VswitchReno` — canonical NewReno AIMD: halve on loss *or* on
+  any ECN mark (classic once-per-window semantics);
+* :class:`VswitchCubic` — CUBIC's window growth with loss/mark-triggered
+  multiplicative decrease, for long-RTT (WAN) flows;
+* the registry mapping ``FlowPolicy.algorithm`` names to classes
+  (:data:`VSWITCH_CC_REGISTRY`); DCTCP itself lives in
+  :mod:`repro.core.dctcp_vswitch` and registers here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..tcp.cc.cubic import CUBIC_BETA, CUBIC_C
+
+INITIAL_WINDOW_SEGMENTS = 10
+
+
+class VswitchCongestionControl:
+    """Interface + NewReno mechanics shared by vSwitch algorithms.
+
+    Subclasses override :meth:`_cut_factor` (multiplicative decrease) and
+    optionally :meth:`_grow` (additive increase / growth function).
+    """
+
+    name = "base"
+
+    def __init__(self, mss: int, beta: float = 1.0,
+                 min_wnd_bytes=None, max_wnd_bytes=None):
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.mss = mss
+        self.beta = beta  # unused by non-DCTCP algorithms; kept uniform
+        self.min_wnd = min_wnd_bytes if min_wnd_bytes is not None else mss
+        self.max_wnd = max_wnd_bytes if max_wnd_bytes is not None else (1 << 30)
+        self.wnd = float(min(INITIAL_WINDOW_SEGMENTS * mss, self.max_wnd))
+        self.ssthresh = float(1 << 30)
+        self.cut_seq = 0
+        self.cuts = 0
+        self.loss_events = 0
+        self.alpha = 0.0   # uniform introspection with DCTCP
+
+    # -- interface ---------------------------------------------------------
+    @property
+    def window_bytes(self) -> int:
+        """The enforceable congestion window, floored and capped."""
+        return int(min(max(self.wnd, self.min_wnd), self.max_wnd))
+
+    def on_ack(self, snd_una: int, snd_nxt: int, newly_acked: int,
+               feedback_total: int, feedback_marked: int,
+               loss: bool) -> int:
+        """Process one ACK's worth of information; returns the window."""
+        if loss:
+            self.loss_events += 1
+            self._cut(snd_una, snd_nxt)
+        elif feedback_marked > 0:
+            # Canonical stacks treat an ECN mark like a loss signal
+            # (RFC 3168), cut at most once per window.
+            self._cut(snd_una, snd_nxt)
+        else:
+            self._grow(newly_acked)
+        return self.window_bytes
+
+    def on_timeout(self, snd_una: int, snd_nxt: int) -> int:
+        """Inferred RTO: slow-start restart."""
+        self.loss_events += 1
+        self.ssthresh = max(self.wnd / 2.0, float(2 * self.mss))
+        self.wnd = float(self.mss)
+        self.cut_seq = snd_nxt
+        self.cuts += 1
+        return self.window_bytes
+
+    # -- policy hooks --------------------------------------------------------
+    def _cut_factor(self) -> float:
+        """Fraction of the window kept on a congestion event."""
+        return 0.5
+
+    def _grow(self, newly_acked: int) -> None:
+        """Slow start below ssthresh; else +1 MSS per window."""
+        if newly_acked <= 0:
+            return
+        if self.wnd < self.ssthresh:
+            self.wnd += newly_acked
+        else:
+            self.wnd += self.mss * newly_acked / max(self.wnd, 1.0)
+        self.wnd = min(self.wnd, float(self.max_wnd))
+
+    # -- shared mechanics ---------------------------------------------------
+    def _cut(self, snd_una: int, snd_nxt: int) -> None:
+        if snd_una < self.cut_seq:
+            return  # already cut in this window
+        self.wnd = max(self.wnd * self._cut_factor(), float(self.min_wnd))
+        self.ssthresh = self.wnd
+        self.cut_seq = snd_nxt
+        self.cuts += 1
+
+
+class VswitchReno(VswitchCongestionControl):
+    """Canonical NewReno AIMD enforced from the vSwitch."""
+
+    name = "reno"
+
+
+class VswitchCubic(VswitchCongestionControl):
+    """CUBIC window growth enforced from the vSwitch.
+
+    Uses wall-clock-free epoch tracking: the epoch timer is the count of
+    acked windows (the vSwitch has no reliable per-flow RTT estimate, so
+    growth is driven per-window like the kernel's HZ-quantised clock).
+    """
+
+    name = "cubic"
+
+    def __init__(self, mss: int, beta: float = 1.0,
+                 min_wnd_bytes=None, max_wnd_bytes=None,
+                 rtt_estimate_s: float = 200e-6):
+        super().__init__(mss, beta, min_wnd_bytes, max_wnd_bytes)
+        self.rtt = rtt_estimate_s
+        self.w_max = 0.0            # MSS units
+        self._epoch_t = 0.0         # virtual seconds since last cut
+        self._k = 0.0
+        self._origin = 0.0
+        self._in_epoch = False
+        self._acked_bytes = 0
+
+    def _cut_factor(self) -> float:
+        return CUBIC_BETA
+
+    def _cut(self, snd_una: int, snd_nxt: int) -> None:
+        if snd_una < self.cut_seq:
+            return
+        self.w_max = self.wnd / self.mss
+        self._in_epoch = False
+        super()._cut(snd_una, snd_nxt)
+
+    def _grow(self, newly_acked: int) -> None:
+        if newly_acked <= 0:
+            return
+        if self.wnd < self.ssthresh:
+            self.wnd = min(self.wnd + newly_acked, float(self.max_wnd))
+            return
+        if not self._in_epoch:
+            self._in_epoch = True
+            self._epoch_t = 0.0
+            self._acked_bytes = 0
+            cwnd_mss = self.wnd / self.mss
+            if cwnd_mss < self.w_max:
+                self._k = ((self.w_max - cwnd_mss) / CUBIC_C) ** (1 / 3)
+                self._origin = self.w_max
+            else:
+                self._k = 0.0
+                self._origin = cwnd_mss
+        # Advance virtual time by one RTT per acked window.
+        self._acked_bytes += newly_acked
+        if self._acked_bytes >= self.wnd:
+            self._acked_bytes = 0
+            self._epoch_t += self.rtt
+        target = self._origin + CUBIC_C * ((self._epoch_t + self.rtt
+                                            - self._k) ** 3)
+        cwnd_mss = self.wnd / self.mss
+        if target > cwnd_mss:
+            window_gain_mss = target - cwnd_mss
+        else:
+            window_gain_mss = 0.01
+        # TCP-friendly floor (the kernel's w_est): never grow slower than
+        # Reno's AIMD would at CUBIC's decrease factor.
+        reno_gain_mss = 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA)
+        window_gain_mss = max(window_gain_mss, reno_gain_mss)
+        self.wnd = min(self.wnd + window_gain_mss * self.mss
+                       * newly_acked / max(self.wnd, 1.0),
+                       float(self.max_wnd))
+
+
+def _make_dctcp(mss: int, beta: float = 1.0, min_wnd_bytes=None,
+                max_wnd_bytes=None):
+    """Factory indirection avoids a circular import with dctcp_vswitch."""
+    from .dctcp_vswitch import VswitchDctcp
+
+    return VswitchDctcp(mss=mss, beta=beta, min_wnd_bytes=min_wnd_bytes,
+                        max_wnd_bytes=max_wnd_bytes)
+
+
+#: ``FlowPolicy.algorithm`` name -> factory(mss, beta, min_wnd, max_wnd).
+VSWITCH_CC_REGISTRY: Dict[str, object] = {
+    "dctcp": _make_dctcp,
+    "reno": VswitchReno,
+    "cubic": VswitchCubic,
+}
+
+
+def make_vswitch_cc(name: str, mss: int, beta: float = 1.0,
+                    min_wnd_bytes=None, max_wnd_bytes=None):
+    """Instantiate the vSwitch algorithm ``name`` (see the registry)."""
+    try:
+        factory = VSWITCH_CC_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown vSwitch algorithm {name!r}; "
+            f"known: {sorted(VSWITCH_CC_REGISTRY)}") from None
+    return factory(mss=mss, beta=beta, min_wnd_bytes=min_wnd_bytes,
+                   max_wnd_bytes=max_wnd_bytes)

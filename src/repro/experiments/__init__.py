@@ -1,0 +1,62 @@
+"""Experiment modules: one per figure/table of the paper's §5.
+
+Each module exposes ``run(...)`` returning structured results; the
+benchmark suite (``benchmarks/``) drives them and prints the paper-style
+rows via :mod:`repro.experiments.report`.
+"""
+
+from . import (
+    ablations,
+    common,
+    fig01_heterogeneous_unfairness,
+    fig02_rate_limiting_insufficient,
+    fig06_rwnd_vs_cwnd_clamp,
+    fig08_dumbbell_rtt,
+    fig09_window_tracking,
+    fig10_limiting_window,
+    fig11_12_cpu_overhead,
+    fig13_qos_beta,
+    fig14_convergence,
+    fig15_16_ecn_coexistence,
+    fig17_fairness_mixed_cc,
+    fig18_19_incast,
+    fig20_all_ports_congested,
+    fig21_concurrent_stride,
+    fig22_shuffle,
+    fig23_trace_driven,
+    parking_lot_results,
+    report,
+    runners,
+    table1_cc_variants,
+)
+from .common import ACDC, ALL_SCHEMES, CUBIC, DCTCP, Scheme
+
+__all__ = [
+    "ACDC",
+    "ALL_SCHEMES",
+    "CUBIC",
+    "DCTCP",
+    "Scheme",
+    "ablations",
+    "common",
+    "fig01_heterogeneous_unfairness",
+    "fig02_rate_limiting_insufficient",
+    "fig06_rwnd_vs_cwnd_clamp",
+    "fig08_dumbbell_rtt",
+    "fig09_window_tracking",
+    "fig10_limiting_window",
+    "fig11_12_cpu_overhead",
+    "fig13_qos_beta",
+    "fig14_convergence",
+    "fig15_16_ecn_coexistence",
+    "fig17_fairness_mixed_cc",
+    "fig18_19_incast",
+    "fig20_all_ports_congested",
+    "fig21_concurrent_stride",
+    "fig22_shuffle",
+    "fig23_trace_driven",
+    "parking_lot_results",
+    "report",
+    "runners",
+    "table1_cc_variants",
+]

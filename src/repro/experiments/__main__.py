@@ -1,0 +1,121 @@
+"""Command-line runner: regenerate any paper experiment by name.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig08
+    python -m repro.experiments table1
+    python -m repro.experiments fig19 --json
+
+This is a thin convenience wrapper — the benchmarks under ``benchmarks/``
+are the canonical (asserting) way to regenerate the evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import (
+    ablations,
+    fig01_heterogeneous_unfairness,
+    fig02_rate_limiting_insufficient,
+    fig06_rwnd_vs_cwnd_clamp,
+    fig08_dumbbell_rtt,
+    fig09_window_tracking,
+    fig10_limiting_window,
+    fig11_12_cpu_overhead,
+    fig13_qos_beta,
+    fig14_convergence,
+    fig15_16_ecn_coexistence,
+    fig17_fairness_mixed_cc,
+    fig18_19_incast,
+    fig20_all_ports_congested,
+    fig21_concurrent_stride,
+    fig22_shuffle,
+    fig23_trace_driven,
+    parking_lot_results,
+    table1_cc_variants,
+)
+
+EXPERIMENTS = {
+    "fig01": fig01_heterogeneous_unfairness.run,
+    "fig02": fig02_rate_limiting_insufficient.run,
+    "fig06": fig06_rwnd_vs_cwnd_clamp.run,
+    "fig08": fig08_dumbbell_rtt.run,
+    "parking-lot": parking_lot_results.run,
+    "fig09": fig09_window_tracking.run,
+    "fig10": fig10_limiting_window.run,
+    "fig11-12": fig11_12_cpu_overhead.run,
+    "fig13": fig13_qos_beta.run,
+    "table1": table1_cc_variants.run,
+    "fig14": fig14_convergence.run,
+    "fig15-16": fig15_16_ecn_coexistence.run,
+    "fig17": fig17_fairness_mixed_cc.run,
+    "fig18-19": fig18_19_incast.run,
+    "fig20": fig20_all_ports_congested.run,
+    "fig21": fig21_concurrent_stride.run,
+    "fig22": fig22_shuffle.run,
+    "fig23": fig23_trace_driven.run,
+    "ablation-policing": ablations.run_policing,
+    "ablation-feedback": ablations.run_feedback_modes,
+    "ablation-ecn-hiding": ablations.run_ecn_hiding,
+    "ablation-floor": ablations.run_window_floor,
+}
+
+
+def _default(obj):
+    """Make experiment results JSON-serialisable."""
+    if isinstance(obj, (set, tuple)):
+        return list(obj)
+    if hasattr(obj, "__dict__"):
+        return {k: v for k, v in vars(obj).items()
+                if not k.startswith("_")}
+    return repr(obj)
+
+
+def _shorten(value, limit=2000):
+    """Truncate giant sample lists for the human-readable dump."""
+    if isinstance(value, list) and len(value) > limit:
+        return value[:limit] + [f"... ({len(value)} items)"]
+    if isinstance(value, dict):
+        return {k: _shorten(v, limit) for k, v in value.items()}
+    return value
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate AC/DC TCP paper experiments.")
+    parser.add_argument("experiment",
+                        help="experiment id, or 'list' to enumerate")
+    parser.add_argument("--json", action="store_true",
+                        help="dump full structured results as JSON")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    run = EXPERIMENTS.get(args.experiment)
+    if run is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: python -m repro.experiments list", file=sys.stderr)
+        return 2
+    try:
+        result = run(seed=args.seed)
+    except TypeError:
+        result = run()
+    if args.json:
+        json.dump(result, sys.stdout, default=_default)
+        print()
+    else:
+        print(json.dumps(_shorten(result), default=_default, indent=1))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

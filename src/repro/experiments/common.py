@@ -1,0 +1,121 @@
+"""Shared experiment plumbing.
+
+Every experiment in §5 compares (a subset of) three configurations:
+
+* **CUBIC** — host CUBIC, plain OVS, switch WRED/ECN *off*;
+* **DCTCP** — host DCTCP (ECN on), plain OVS, switch WRED/ECN *on*;
+* **AC/DC** — host stack varies (CUBIC unless stated), AC/DC in the
+  vSwitch, switch WRED/ECN *on*.
+
+:class:`Scheme` captures one such configuration; :func:`attach_vswitches`
+instantiates the right datapath on every host.  The scaling constants at
+the bottom centralise the simulator's time/size scaling so EXPERIMENTS.md
+can cite one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional
+
+from ..core import AcdcConfig, AcdcVswitch, PlainOvs, PolicyEngine
+from ..core.ops import OpsCounter
+from ..net.host import Host
+
+# ---------------------------------------------------------------------------
+# Scheme definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One end-to-end configuration of host stack + vSwitch + switch ECN."""
+
+    name: str
+    host_cc: str = "cubic"
+    host_ecn: bool = False
+    vswitch: str = "plain"        # "plain" | "acdc"
+    switch_ecn: bool = False
+
+    def conn_opts(self) -> dict:
+        """Connection options for guest endpoints under this scheme."""
+        return {"cc": self.host_cc, "ecn": self.host_ecn}
+
+    def with_host_cc(self, cc: str, ecn: Optional[bool] = None) -> "Scheme":
+        """Same datapath, different guest stack (Table 1 rows)."""
+        if ecn is None:
+            ecn = cc == "dctcp"
+        return replace(self, name=f"{self.name}+{cc}", host_cc=cc, host_ecn=ecn)
+
+
+#: The paper's three baseline configurations (§5 "Experiment details").
+CUBIC = Scheme("cubic", host_cc="cubic", host_ecn=False,
+               vswitch="plain", switch_ecn=False)
+DCTCP = Scheme("dctcp", host_cc="dctcp", host_ecn=True,
+               vswitch="plain", switch_ecn=True)
+ACDC = Scheme("acdc", host_cc="cubic", host_ecn=False,
+              vswitch="acdc", switch_ecn=True)
+
+ALL_SCHEMES = (CUBIC, DCTCP, ACDC)
+
+
+def attach_vswitches(
+    scheme: Scheme,
+    hosts: Iterable[Host],
+    acdc_config: Optional[AcdcConfig] = None,
+    policy: Optional[PolicyEngine] = None,
+    window_cb=None,
+) -> Dict[str, object]:
+    """Instantiate the scheme's datapath on every host.
+
+    Returns ``{host addr: vswitch}`` so experiments can read flow tables,
+    op counters and enforcement stats afterwards.
+    """
+    out: Dict[str, object] = {}
+    for host in hosts:
+        if scheme.vswitch == "acdc":
+            config = acdc_config if acdc_config is not None else AcdcConfig()
+            vsw = AcdcVswitch(host, config=config, policy=policy,
+                              ops=OpsCounter(), window_cb=window_cb)
+        else:
+            vsw = PlainOvs(host, ops=OpsCounter())
+        host.attach_vswitch(vsw)
+        out[host.addr] = vsw
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scaling constants (substitutions relative to the testbed; see DESIGN.md §5
+# and the per-experiment notes in EXPERIMENTS.md)
+# ---------------------------------------------------------------------------
+
+#: Microbenchmarks run at the testbed's line rate.
+MICRO_RATE = 10e9
+#: Macrobenchmarks (17-host star, all-to-all patterns) run at 1 GbE so a
+#: Python simulator can cover them; the marking threshold scales with rate.
+MACRO_RATE = 1e9
+#: DCTCP marking threshold at 10 G (K = 65 1.5 KB frames, §2.1 of DCTCP).
+K_BYTES_10G = 65 * 1500
+#: At 1 G the DCTCP guidance is K ≈ 20 frames.
+K_BYTES_1G = 20 * 1500
+
+#: Virtual-time budget for "long-lived" microbenchmark flows (the paper
+#: runs 20 s x 10 repetitions; shape converges within a second here).
+MICRO_DURATION = 1.0
+#: Repetitions for the run-to-run variation figures (paper: 10).
+MICRO_RUNS = 5
+
+
+def k_bytes_for_rate(rate_bps: float) -> int:
+    """Marking threshold matched to the link rate (testbed guidance)."""
+    if rate_bps >= 5e9:
+        return K_BYTES_10G
+    return K_BYTES_1G
+
+
+def switch_opts(scheme: Scheme, rate_bps: float = MICRO_RATE) -> dict:
+    """kwargs for the topology builders' switches under this scheme."""
+    return {
+        "ecn_enabled": scheme.switch_ecn,
+        "ecn_threshold_bytes": k_bytes_for_rate(rate_bps),
+    }

@@ -1,0 +1,45 @@
+"""Fig. 1: heterogeneous congestion controls are unfair to each other.
+
+Five flows on the dumbbell, each with a different Linux stack (CUBIC,
+Illinois, HighSpeed, New Reno, Vegas) over plain OVS with no switch ECN
+(Fig. 1a), versus all five using CUBIC (Fig. 1b).  The paper's
+observation: aggressive stacks (Illinois, HighSpeed) grab bandwidth and
+delay-based Vegas starves, while the homogeneous case is much fairer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..metrics import jain_index
+from .common import CUBIC, MICRO_DURATION, MICRO_RUNS
+from .runners import run_dumbbell
+
+#: Flow-to-stack assignment of the paper's Fig. 1a.
+HETEROGENEOUS_STACKS = ("cubic", "illinois", "highspeed", "reno", "vegas")
+
+
+def run(runs: int = MICRO_RUNS, duration: float = MICRO_DURATION,
+        mtu: int = 9000) -> Dict[str, dict]:
+    """Returns per-test throughput for both configurations."""
+    out: Dict[str, dict] = {}
+    for label, stacks in (("heterogeneous", HETEROGENEOUS_STACKS),
+                          ("all-cubic", ("cubic",) * 5)):
+        tests: List[dict] = []
+        for rep in range(runs):
+            result = run_dumbbell(
+                CUBIC, pairs=5, duration=duration, mtu=mtu, seed=rep,
+                host_ccs=list(stacks), rtt_probe=False)
+            gbps = [t / 1e9 for t in result.tputs_bps]
+            tests.append({
+                "per_flow_gbps": dict(zip(stacks, gbps)),
+                "max": max(gbps), "min": min(gbps),
+                "mean": sum(gbps) / len(gbps),
+                "median": sorted(gbps)[len(gbps) // 2],
+                "fairness": jain_index(gbps),
+            })
+        out[label] = {
+            "tests": tests,
+            "mean_fairness": sum(t["fairness"] for t in tests) / len(tests),
+        }
+    return out

@@ -1,0 +1,35 @@
+"""Fig. 2: per-flow rate limiting alone does not control latency.
+
+Five CUBIC flows, each rate-limited to its "perfect" 2 Gb/s share, still
+fill the drop-tail switch buffer and inflate RTTs; five unlimited DCTCP
+flows keep the queue (and RTT) low.  This motivates enforcing *congestion
+control*, not just bandwidth allocation (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .common import CUBIC, DCTCP
+from .runners import run_dumbbell
+
+
+def run(duration: float = 1.0, mtu: int = 9000,
+        per_flow_limit_bps: float = 2e9, seed: int = 0) -> Dict[str, dict]:
+    """Returns RTT samples for rate-limited CUBIC vs unlimited DCTCP."""
+    cubic_rl = run_dumbbell(
+        CUBIC, pairs=5, duration=duration, mtu=mtu, seed=seed,
+        pacing_rate_bps=per_flow_limit_bps)
+    dctcp = run_dumbbell(DCTCP, pairs=5, duration=duration, mtu=mtu, seed=seed)
+    return {
+        "cubic_rl2g": {
+            "rtt_samples": cubic_rl.rtt_samples,
+            "rtt": cubic_rl.rtt_summary(),
+            "tput_gbps": [t / 1e9 for t in cubic_rl.tputs_bps],
+        },
+        "dctcp": {
+            "rtt_samples": dctcp.rtt_samples,
+            "rtt": dctcp.rtt_summary(),
+            "tput_gbps": [t / 1e9 for t in dctcp.tputs_bps],
+        },
+    }

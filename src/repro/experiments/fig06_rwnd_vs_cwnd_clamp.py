@@ -1,0 +1,47 @@
+"""Fig. 6: bounding RWND controls throughput exactly like bounding CWND.
+
+One flow on an uncongested path.  The CWND series clamps the host stack
+(Linux's ``snd_cwnd_clamp``); the RWND series leaves the host unclamped
+and instead caps AC/DC's enforced window (``FlowPolicy.max_rwnd``).  The
+two curves should coincide: linear in the clamp until the line rate, then
+flat.  The paper uses the resulting curve to convert a desired bandwidth
+cap into a maximum RWND (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core import FlowPolicy, PolicyEngine
+from ..net.packet import mss_for_mtu
+from .common import ACDC, CUBIC
+from .runners import run_dumbbell
+
+#: Sweep points (in MSS) roughly matching the paper's x-axes.
+CLAMPS_1500 = (2, 5, 10, 20, 40, 80, 120, 180, 250)
+CLAMPS_9000 = (1, 2, 3, 4, 6, 8, 10, 12, 16)
+
+
+def clamps_for_mtu(mtu: int) -> Sequence[int]:
+    """The figure's x-axis points for the given MTU."""
+    return CLAMPS_9000 if mtu >= 9000 else CLAMPS_1500
+
+
+def run(mtu: int = 9000, duration: float = 0.3, seed: int = 0) -> Dict[str, List[dict]]:
+    """Returns (clamp_mss, throughput) series for both clamping mechanisms."""
+    mss = mss_for_mtu(mtu)
+    cwnd_series: List[dict] = []
+    rwnd_series: List[dict] = []
+    for clamp in clamps_for_mtu(mtu):
+        # CWND clamp in the host stack, plain OVS.
+        r = run_dumbbell(CUBIC, pairs=1, duration=duration, mtu=mtu,
+                         seed=seed, max_cwnd=clamp * mss, rtt_probe=False)
+        cwnd_series.append({"clamp_mss": clamp,
+                            "tput_gbps": r.tputs_bps[0] / 1e9})
+        # RWND clamp in AC/DC.
+        policy = PolicyEngine(default=FlowPolicy(max_rwnd=clamp * mss))
+        r = run_dumbbell(ACDC, pairs=1, duration=duration, mtu=mtu,
+                         seed=seed, policy=policy, rtt_probe=False)
+        rwnd_series.append({"clamp_mss": clamp,
+                            "tput_gbps": r.tputs_bps[0] / 1e9})
+    return {"cwnd": cwnd_series, "rwnd": rwnd_series}

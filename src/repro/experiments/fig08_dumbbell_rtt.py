@@ -1,0 +1,30 @@
+"""Fig. 8 (+ the §5.1 'canonical topologies' numbers): dumbbell RTT CDF.
+
+One long-lived flow per server pair; CUBIC fills the buffer (milliseconds
+of queueing) while DCTCP and AC/DC keep RTTs in the ~100 µs range.  Also
+reports the per-flow throughputs (all three schemes achieve the same
+~2 Gb/s fair share on this topology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .common import ALL_SCHEMES
+from .runners import run_dumbbell
+
+
+def run(duration: float = 1.0, mtu: int = 9000, seed: int = 0) -> Dict[str, dict]:
+    """RTT samples, throughput and fairness for all three schemes."""
+    out: Dict[str, dict] = {}
+    for scheme in ALL_SCHEMES:
+        r = run_dumbbell(scheme, pairs=5, duration=duration, mtu=mtu, seed=seed)
+        out[scheme.name] = {
+            "rtt_samples": r.rtt_samples,
+            "rtt": r.rtt_summary(),
+            "tput_gbps": [t / 1e9 for t in r.tputs_bps],
+            "avg_tput_gbps": r.avg_tput_bps / 1e9,
+            "fairness": r.fairness,
+            "drop_rate": r.drop_rate,
+        }
+    return out

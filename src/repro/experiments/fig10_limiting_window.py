@@ -1,0 +1,44 @@
+"""Fig. 10: with a CUBIC host, AC/DC's RWND is the limiting window.
+
+AC/DC hides ECN feedback from the VM, so the CUBIC stack sees neither
+loss nor marks and grows its CWND; AC/DC's enforced RWND therefore sits
+below the host CWND essentially all the time and is what actually paces
+the flow.  This experiment logs both series (enforcement active) and
+reports the fraction of samples where RWND < CWND.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..metrics import WindowLogger
+from ..net.packet import mss_for_mtu
+from .common import ACDC
+from .runners import run_dumbbell
+from .fig09_window_tracking import resample
+
+
+def run(duration: float = 1.0, mtu: int = 1500, seed: int = 0) -> Dict[str, object]:
+    """Window series plus the fraction of time RWND is the limiter."""
+    mss = mss_for_mtu(mtu)
+    acdc_log = WindowLogger()
+    host_log = WindowLogger()
+    r = run_dumbbell(
+        ACDC, pairs=5, duration=duration, mtu=mtu, seed=seed,
+        rtt_probe=False,
+        window_cb=acdc_log.acdc_callback, window_probe=host_log.probe)
+    key = r.flows[0].conn.key()
+    rwnd_series = [(t, w / mss) for t, w in acdc_log.samples[key]]
+    cwnd_series = [(t, w / mss) for t, w in host_log.samples[key]]
+    n = 400
+    times = [duration * 0.05 + i * duration * 0.9 / n for i in range(n)]
+    rwnd_pts = resample(rwnd_series, times)
+    cwnd_pts = resample(cwnd_series, times)
+    limiting = sum(1 for a, b in zip(rwnd_pts, cwnd_pts) if a < b)
+    return {
+        "rwnd_series_mss": rwnd_series,
+        "cwnd_series_mss": cwnd_series,
+        "fraction_rwnd_limiting": limiting / n,
+        "mean_rwnd_mss": sum(rwnd_pts) / n,
+        "mean_cwnd_mss": sum(cwnd_pts) / n,
+    }

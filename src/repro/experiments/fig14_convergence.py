@@ -1,0 +1,59 @@
+"""Fig. 14: convergence test — flows join and leave a shared bottleneck.
+
+Following Alizadeh's and Judd's methodology, a new flow is added to the
+bottleneck every epoch and then removed in reverse order; the per-flow
+throughput timeseries shows whether the scheme converges to fair shares
+quickly and smoothly.  CUBIC wobbles and overshoots (with a nonzero drop
+rate); DCTCP and AC/DC converge cleanly with zero drops.
+
+Scaling: the paper's epochs are 30 s on a 10 G link; shape converges well
+within a second here, so epochs default to 0.5 s on a 1 G bottleneck
+(documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import ALL_SCHEMES, Scheme
+from .runners import run_dumbbell
+
+
+def run_scheme(scheme: Scheme, flows: int = 5, epoch: float = 0.5,
+               mtu: int = 1500, rate_bps: float = 1e9, seed: int = 0) -> dict:
+    """One scheme's staggered join/leave run with per-flow timeseries."""
+    duration = 2 * flows * epoch
+    starts = [i * epoch for i in range(flows)]
+    stops = [duration - i * epoch for i in range(flows)]
+    r = run_dumbbell(
+        scheme, pairs=flows, duration=duration, mtu=mtu, rate_bps=rate_bps,
+        seed=seed, start_times=starts, stop_times=stops,
+        rtt_probe=False, tput_meters=True)
+    series = [m.series for m in r.meters]
+    # Fair-share error at each epoch midpoint: compare active flows'
+    # instantaneous rates to the equal share.
+    epochs: List[dict] = []
+    for k in range(2 * flows - 1):
+        t_mid = (k + 0.5) * epoch
+        active = [i for i in range(flows)
+                  if starts[i] <= t_mid and t_mid <= stops[i]]
+        rates = []
+        for i in active:
+            pts = [v for (t, v) in series[i] if abs(t - t_mid) <= epoch / 2]
+            rates.append(sum(pts) / len(pts) if pts else 0.0)
+        share = rate_bps / max(len(active), 1)
+        err = (max(abs(x - share) for x in rates) / share) if rates else 0.0
+        epochs.append({"t_mid": t_mid, "active": len(active),
+                       "rates_mbps": [x / 1e6 for x in rates],
+                       "max_share_error": err})
+    return {
+        "series_bps": series,
+        "epochs": epochs,
+        "drop_rate": r.drop_rate,
+        "timeouts": sum(f.conn.timeouts for f in r.flows if f.conn),
+    }
+
+
+def run(epoch: float = 0.5, seed: int = 0) -> Dict[str, dict]:
+    """The convergence test for all three schemes."""
+    return {s.name: run_scheme(s, epoch=epoch, seed=seed) for s in ALL_SCHEMES}

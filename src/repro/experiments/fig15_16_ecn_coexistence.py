@@ -1,0 +1,51 @@
+"""Fig. 15/16: the ECN coexistence problem, and AC/DC's fix.
+
+One CUBIC flow (no ECN) and one DCTCP flow (ECN) share a bottleneck whose
+WRED/ECN profile marks ECT packets above K and *drops* non-ECT ones
+(Judd [36], Wu [72]).  The CUBIC flow suffers constant loss and starves,
+and its RTT/retransmissions spike (Fig. 16).  Attaching AC/DC makes every
+flow ECN-capable on the wire, restoring the fair share and low latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .common import Scheme
+from .runners import run_dumbbell
+
+
+def run(duration: float = 1.0, mtu: int = 9000, seed: int = 0) -> Dict[str, dict]:
+    """The coexistence trap with plain OVS, then with AC/DC attached."""
+    out: Dict[str, dict] = {}
+    # "Default": plain OVS; host stacks CUBIC (no ECN) + DCTCP (ECN);
+    # switch marking ON (that is the coexistence trap).
+    default_scheme = Scheme("default-mixed", host_cc="cubic", host_ecn=False,
+                            vswitch="plain", switch_ecn=True)
+    r = run_dumbbell(
+        default_scheme, pairs=2, duration=duration, mtu=mtu, seed=seed,
+        host_ccs=["cubic", "dctcp"], host_ecns=[False, True],
+        rtt_probe=True, probe_interval=0.005, probe_pipelined=True)
+    out["default"] = _summarise(r)
+    # AC/DC: same guest mix, AC/DC in the vSwitch.
+    acdc_scheme = Scheme("acdc-mixed", host_cc="cubic", host_ecn=False,
+                         vswitch="acdc", switch_ecn=True)
+    r = run_dumbbell(
+        acdc_scheme, pairs=2, duration=duration, mtu=mtu, seed=seed,
+        host_ccs=["cubic", "dctcp"], host_ecns=[False, True],
+        rtt_probe=True, probe_interval=0.005, probe_pipelined=True)
+    out["acdc"] = _summarise(r)
+    return out
+
+
+def _summarise(result) -> dict:
+    cubic_bps, dctcp_bps = result.tputs_bps
+    return {
+        "cubic_gbps": cubic_bps / 1e9,
+        "dctcp_gbps": dctcp_bps / 1e9,
+        "cubic_share": cubic_bps / max(cubic_bps + dctcp_bps, 1.0),
+        "rtt_samples": result.rtt_samples,   # probe rides the CUBIC host
+        "rtt": result.rtt_summary(),
+        "drop_rate": result.drop_rate,
+        "cubic_retransmits": result.flows[0].conn.retransmitted_bytes,
+    }

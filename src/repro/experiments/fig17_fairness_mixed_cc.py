@@ -1,0 +1,46 @@
+"""Fig. 17: AC/DC restores fairness across heterogeneous guest stacks.
+
+The Fig. 1 experiment repeated: five different guest stacks (CUBIC,
+Illinois, HighSpeed, New Reno, Vegas) — but now AC/DC enforces DCTCP in
+the vSwitch (Fig. 17b).  The reference (Fig. 17a) is all five flows
+running native DCTCP.  Max/min/mean/median per test should nearly
+coincide in both cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..metrics import jain_index
+from .common import ACDC, DCTCP, MICRO_DURATION, MICRO_RUNS
+from .fig01_heterogeneous_unfairness import HETEROGENEOUS_STACKS
+from .runners import run_dumbbell
+
+
+def run(runs: int = MICRO_RUNS, duration: float = MICRO_DURATION,
+        mtu: int = 9000) -> Dict[str, dict]:
+    """Per-test max/min/mean/median for all-DCTCP vs AC/DC-mixed."""
+    out: Dict[str, dict] = {}
+    configs = {
+        "all-dctcp": (DCTCP, None, None),
+        "acdc-mixed": (ACDC, list(HETEROGENEOUS_STACKS),
+                       [cc == "dctcp" for cc in HETEROGENEOUS_STACKS]),
+    }
+    for label, (scheme, ccs, ecns) in configs.items():
+        tests: List[dict] = []
+        for rep in range(runs):
+            r = run_dumbbell(scheme, pairs=5, duration=duration, mtu=mtu,
+                             seed=rep, host_ccs=ccs, host_ecns=ecns,
+                             rtt_probe=False)
+            gbps = [t / 1e9 for t in r.tputs_bps]
+            tests.append({
+                "max": max(gbps), "min": min(gbps),
+                "mean": sum(gbps) / len(gbps),
+                "median": sorted(gbps)[len(gbps) // 2],
+                "fairness": jain_index(gbps),
+            })
+        out[label] = {
+            "tests": tests,
+            "mean_fairness": sum(t["fairness"] for t in tests) / len(tests),
+        }
+    return out

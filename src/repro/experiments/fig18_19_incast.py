@@ -1,0 +1,43 @@
+"""Fig. 18/19: many-to-one incast — throughput, fairness, RTT, drops.
+
+N ∈ {16, 32, 40, 47} senders fan long-lived flows into one receiver.
+Expected shape (paper):
+
+* throughput ≈ line rate / N for every scheme, fairness > 0.99 for
+  DCTCP and AC/DC (Fig. 18);
+* CUBIC's RTT and drop rate blow up; DCTCP's RTT *grows with N* because
+  its 2-packet CWND floor keeps N×2×MSS bytes in the queue; AC/DC's
+  byte-granular RWND floor stays below that, so its RTT stays flat and
+  lowest (Fig. 19) with zero drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..metrics import percentile
+from .common import ALL_SCHEMES
+from .runners import run_incast
+
+SENDER_COUNTS = (16, 32, 40, 47)
+
+
+def run(counts: Sequence[int] = SENDER_COUNTS, duration: float = 0.4,
+        mtu: int = 9000, seed: int = 0) -> List[dict]:
+    """Throughput/fairness/RTT/drops per scheme per fan-in count."""
+    rows: List[dict] = []
+    for n in counts:
+        row: Dict[str, object] = {"senders": n}
+        for scheme in ALL_SCHEMES:
+            r = run_incast(scheme, n_senders=n, duration=duration,
+                           mtu=mtu, seed=seed)
+            rtt = r.rtt_samples
+            row[scheme.name] = {
+                "avg_tput_mbps": r.avg_tput_bps / 1e6,
+                "fairness": r.fairness,
+                "rtt_p50_ms": percentile(rtt, 50) * 1e3 if rtt else float("nan"),
+                "rtt_p999_ms": percentile(rtt, 99.9) * 1e3 if rtt else float("nan"),
+                "drop_rate_pct": r.drop_rate * 100.0,
+            }
+        rows.append(row)
+    return rows

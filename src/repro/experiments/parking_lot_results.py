@@ -1,0 +1,30 @@
+"""§5.1 parking-lot numbers (text results for the Fig. 7b topology).
+
+Each sender's flow crosses a different number of bottlenecks on the
+switch chain.  The paper reports: CUBIC averages 2.48 Gb/s with fairness
+0.94; DCTCP and AC/DC average 2.45 Gb/s with fairness 0.99; AC/DC's
+RTTs track DCTCP's (~124/136 µs median) while CUBIC's are milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .common import ALL_SCHEMES
+from .runners import run_parking_lot
+
+
+def run(duration: float = 1.0, mtu: int = 9000, seed: int = 0) -> Dict[str, dict]:
+    """Throughput/fairness/RTT on the parking lot, all three schemes."""
+    out: Dict[str, dict] = {}
+    for scheme in ALL_SCHEMES:
+        r = run_parking_lot(scheme, n_senders=5, duration=duration,
+                            mtu=mtu, seed=seed)
+        out[scheme.name] = {
+            "tput_gbps": [t / 1e9 for t in r.tputs_bps],
+            "avg_tput_gbps": r.avg_tput_bps / 1e9,
+            "fairness": r.fairness,
+            "rtt": r.rtt_summary(),
+            "drop_rate": r.drop_rate,
+        }
+    return out

@@ -1,0 +1,58 @@
+"""Plain-text reporting: the tables and series the paper prints.
+
+Benchmarks tee these through pytest's output so a run of
+``pytest benchmarks/`` regenerates every figure's data as text — the
+honest equivalent of the paper's plots for a library without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table; floats get 3 significant decimals."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cdf(samples: Sequence[float], label: str,
+               points: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90,
+                                          0.95, 0.99, 0.999),
+               unit: str = "", scale: float = 1.0) -> str:
+    """A CDF rendered as its key quantiles (what the plots communicate)."""
+    from ..metrics.stats import percentile
+
+    if not samples:
+        return f"{label}: (no samples)"
+    parts = [f"{label} (n={len(samples)}):"]
+    for p in points:
+        value = percentile(samples, p * 100.0) * scale
+        parts.append(f"  p{p * 100:g}={value:.3f}{unit}")
+    return "".join(parts)
+
+
+def format_series(series: Sequence[Tuple[float, float]], label: str,
+                  every: int = 1, scale: float = 1.0, unit: str = "") -> str:
+    """A (time, value) series as compact text, optionally downsampled."""
+    chosen = list(series)[::max(every, 1)]
+    body = " ".join(f"{t:.3f}:{v * scale:.2f}{unit}" for t, v in chosen)
+    return f"{label}: {body}"

@@ -1,0 +1,47 @@
+"""Table 1: AC/DC works with many guest congestion-control variants.
+
+Rows: CUBIC* (host CUBIC, plain OVS, no switch ECN) and DCTCP* (host
+DCTCP, plain OVS, ECN on) baselines, then six guest stacks — CUBIC, Reno,
+DCTCP, Illinois, HighSpeed, Vegas — each running under AC/DC.  Columns:
+50th/99th percentile RTT, average throughput, Jain fairness, for both
+MTUs.  The paper's claim: every AC/DC row tracks DCTCP*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..metrics import percentile
+from .common import ACDC, CUBIC, DCTCP
+from .runners import run_dumbbell
+
+ACDC_GUESTS = ("cubic", "reno", "dctcp", "illinois", "highspeed", "vegas")
+
+
+def _row(name: str, result) -> dict:
+    rtt = result.rtt_samples
+    return {
+        "variant": name,
+        "rtt_p50_us": percentile(rtt, 50) * 1e6 if rtt else float("nan"),
+        "rtt_p99_us": percentile(rtt, 99) * 1e6 if rtt else float("nan"),
+        "avg_tput_gbps": result.avg_tput_bps / 1e9,
+        "fairness": result.fairness,
+    }
+
+
+def run(mtus: Sequence[int] = (1500, 9000), duration: float = 1.0,
+        seed: int = 0, guests: Sequence[str] = ACDC_GUESTS) -> Dict[int, List[dict]]:
+    """Table 1 rows for each MTU: baselines + every guest under AC/DC."""
+    out: Dict[int, List[dict]] = {}
+    for mtu in mtus:
+        rows: List[dict] = []
+        rows.append(_row("CUBIC*", run_dumbbell(
+            CUBIC, duration=duration, mtu=mtu, seed=seed)))
+        rows.append(_row("DCTCP*", run_dumbbell(
+            DCTCP, duration=duration, mtu=mtu, seed=seed)))
+        for guest in guests:
+            scheme = ACDC.with_host_cc(guest)
+            rows.append(_row(f"AC/DC({guest})", run_dumbbell(
+                scheme, duration=duration, mtu=mtu, seed=seed)))
+        out[mtu] = rows
+    return out

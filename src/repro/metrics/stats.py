@@ -1,0 +1,111 @@
+"""Statistics helpers: percentiles, CDFs, Jain's fairness index.
+
+The paper's metrics (§5): TCP RTT percentiles, average throughput, flow
+completion times, loss rate and Jain's fairness index [32].  Everything
+here is pure-Python over plain lists so tests can reason about exact
+values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile (like numpy's default).
+
+    ``p`` is in [0, 100].  Raises on an empty sample set — silently
+    returning 0 has hidden too many broken experiments.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    value = ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # Clamp: float interpolation may escape the bracket by an epsilon.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) pairs."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 is fair."""
+    if not values:
+        raise ValueError("fairness of empty allocation")
+    if any(v < 0 for v in values):
+        raise ValueError("allocations must be non-negative")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0  # everyone got exactly nothing: technically fair
+    return (total * total) / (len(values) * squares)
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """The summary rows the paper's tables report."""
+    if not samples:
+        raise ValueError("summary of empty sample set")
+    ordered = sorted(samples)
+    return {
+        "count": float(len(ordered)),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(ordered, 50),
+        "p95": percentile(ordered, 95),
+        "p99": percentile(ordered, 99),
+        "p999": percentile(ordered, 99.9),
+    }
+
+
+class Ewma:
+    """Exponentially weighted moving average (DCTCP's alpha estimator
+    shape); ``gain`` is the weight of each new observation."""
+
+    def __init__(self, gain: float, initial: float = 0.0):
+        if not 0.0 < gain <= 1.0:
+            raise ValueError(f"gain must be in (0, 1], got {gain!r}")
+        self.gain = gain
+        self.value = initial
+
+    def update(self, observation: float) -> float:
+        self.value = (1.0 - self.gain) * self.value + self.gain * observation
+        return self.value
+
+
+def moving_average(series: Iterable[Tuple[float, float]],
+                   window_s: float) -> List[Tuple[float, float]]:
+    """Time-windowed moving average of a (time, value) series.
+
+    Used for the Fig. 9b "100 ms moving average" view of window sizes.
+    """
+    points = list(series)
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    out: List[Tuple[float, float]] = []
+    start = 0
+    acc = 0.0
+    for i, (t, v) in enumerate(points):
+        acc += v
+        while points[start][0] < t - window_s:
+            acc -= points[start][1]
+            start += 1
+        out.append((t, acc / (i - start + 1)))
+    return out

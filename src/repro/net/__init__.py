@@ -1,0 +1,44 @@
+"""Network substrate: packets, links, switches, hosts, topologies."""
+
+from .buffer import SharedBuffer
+from .host import Host
+from .link import HostTxPort, PortStats, SwitchTxPort, TxPort
+from .packet import (
+    ECN_CE,
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    MTU_ETHERNET,
+    MTU_JUMBO,
+    Packet,
+    PackOption,
+    mss_for_mtu,
+)
+from .red import DEFAULT_K_BYTES, EcnMarker, MarkDecision
+from .switch import DEFAULT_BUFFER_BYTES, Switch
+from .topology import Topology, dumbbell, parking_lot, star
+
+__all__ = [
+    "DEFAULT_BUFFER_BYTES",
+    "DEFAULT_K_BYTES",
+    "ECN_CE",
+    "ECN_ECT0",
+    "ECN_NOT_ECT",
+    "EcnMarker",
+    "Host",
+    "HostTxPort",
+    "MTU_ETHERNET",
+    "MTU_JUMBO",
+    "MarkDecision",
+    "Packet",
+    "PackOption",
+    "PortStats",
+    "SharedBuffer",
+    "Switch",
+    "SwitchTxPort",
+    "Topology",
+    "TxPort",
+    "dumbbell",
+    "mss_for_mtu",
+    "parking_lot",
+    "star",
+]

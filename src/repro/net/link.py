@@ -1,0 +1,168 @@
+"""Links and transmit ports.
+
+The wire model is store-and-forward: a transmit port serializes one packet
+at a time at the link rate, then the packet propagates for a fixed delay
+and is delivered to the device on the far end.  Queueing happens in front
+of the serializer and its policy differs by device:
+
+* hosts get an unbounded FIFO (``HostTxPort``) — the testbed's hosts are
+  window-limited by TCP and never drop on transmit;
+* switches get ``SwitchTxPort``: admission via the shared
+  :class:`~repro.net.buffer.SharedBuffer` (dynamic threshold) plus the
+  WRED/ECN profile of :class:`~repro.net.red.EcnMarker`.
+
+Counters on every port (packets/bytes sent and dropped) are the stand-in
+for the paper's "loss rate (by collecting switch counters)".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Protocol
+
+from ..sim.engine import Simulator
+from .buffer import SharedBuffer
+from .packet import Packet
+from .red import EcnMarker
+
+
+class Device(Protocol):
+    """Anything that can terminate a wire."""
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class PortStats:
+    """Per-port counters, mirroring what one scrapes off a real switch."""
+
+    __slots__ = ("tx_packets", "tx_bytes", "dropped_packets", "dropped_bytes",
+                 "marked_packets")
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.marked_packets = 0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of arriving packets dropped at this port."""
+        arrived = self.tx_packets + self.dropped_packets
+        return self.dropped_packets / arrived if arrived else 0.0
+
+
+class TxPort:
+    """Base transmit port: FIFO + serializer + propagation.
+
+    Subclasses override :meth:`_admit` / :meth:`_release` to implement a
+    buffering policy.  ``rate_bps`` of 0 means an infinitely fast port
+    (useful in unit tests).
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
+                 peer: Optional[Device] = None, name: str = "port"):
+        if rate_bps < 0 or delay_s < 0:
+            raise ValueError("rate and delay must be non-negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.peer = peer
+        self.name = name
+        self.stats = PortStats()
+        self._queue: Deque[Packet] = deque()
+        self._queue_bytes = 0
+        self._busy = False
+
+    # -- policy hooks ---------------------------------------------------
+    def _admit(self, packet: Packet) -> bool:
+        """Decide whether the packet may join the queue."""
+        return True
+
+    def _release(self, packet: Packet) -> None:
+        """Return buffer resources when the packet leaves the queue."""
+
+    # -- public API -------------------------------------------------------
+    @property
+    def queue_bytes(self) -> int:
+        return self._queue_bytes
+
+    @property
+    def queue_packets(self) -> int:
+        return len(self._queue)
+
+    def connect(self, peer: Device) -> None:
+        self.peer = peer
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet; returns False (and counts a drop) if rejected."""
+        if not self._admit(packet):
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return False
+        self._queue.append(packet)
+        self._queue_bytes += packet.size
+        if not self._busy:
+            self._start_next()
+        return True
+
+    # -- internals --------------------------------------------------------
+    def _serialization_time(self, packet: Packet) -> float:
+        if self.rate_bps == 0:
+            return 0.0
+        return packet.size * 8.0 / self.rate_bps
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        self._queue_bytes -= packet.size
+        self.sim.schedule(self._serialization_time(packet), self._finish, packet)
+
+    def _finish(self, packet: Packet) -> None:
+        # Buffer memory is held until the packet has left the wire,
+        # as in a real store-and-forward switch.
+        self._release(packet)
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size
+        if self.peer is not None:
+            self.sim.schedule(self.delay_s, self.peer.receive, packet)
+        self._start_next()
+
+
+class HostTxPort(TxPort):
+    """Host NIC transmit queue: unbounded FIFO (hosts are window-limited)."""
+
+
+class SwitchTxPort(TxPort):
+    """Switch output port: shared-buffer admission + WRED/ECN marking.
+
+    The marking decision uses the queue occupancy *before* the arriving
+    packet, consistent with arrival marking on the instantaneous queue.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
+                 shared: SharedBuffer, marker: EcnMarker,
+                 queue_id: int, peer: Optional[Device] = None,
+                 name: str = "swport"):
+        super().__init__(sim, rate_bps, delay_s, peer, name)
+        self.shared = shared
+        self.marker = marker
+        self.queue_id = queue_id
+        shared.register_queue(queue_id)
+
+    def _admit(self, packet: Packet) -> bool:
+        decision = self.marker.decide(packet, self.shared.queue_bytes(self.queue_id))
+        if decision.drop:
+            return False
+        if decision.marked:
+            self.stats.marked_packets += 1
+        if not self.shared.try_admit(self.queue_id, packet.size):
+            return False
+        return True
+
+    def _release(self, packet: Packet) -> None:
+        self.shared.release(self.queue_id, packet.size)

@@ -1,0 +1,199 @@
+"""Packet and header model.
+
+AC/DC works entirely by inspecting and rewriting TCP/IP headers in the
+vSwitch datapath, so the reproduction models the header fields explicitly
+rather than treating packets as opaque blobs:
+
+* the 5-tuple the flow table hashes on (§4),
+* sequence/ACK numbers the conntrack infers CC state from (§3.1),
+* the IP ECN codepoint and TCP ECE/CWR bits that the sender/receiver
+  modules set and strip (§3.2),
+* the 16-bit receive window plus the window-scale option that the
+  enforcement module rewrites (§3.3),
+* TCP options: window scale on SYNs, and the 8-byte AC/DC PACK feedback
+  option (total bytes / ECN-marked bytes seen at the receiver vSwitch),
+* the reserved-bit flag AC/DC uses to remember whether the VM itself
+  negotiated ECN (``vm_ect``).
+
+Sizes are in bytes.  Sequence numbers are Python ints (no 32-bit
+wrap-around: the testbed experiments move at most a few GB per flow and
+wrap handling would only obscure the logic under test).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+# --- IP ECN codepoints (RFC 3168) -------------------------------------
+ECN_NOT_ECT = 0  # not ECN-capable transport
+ECN_ECT0 = 2     # ECN-capable transport, codepoint 0
+ECN_CE = 3       # congestion experienced
+
+# --- header sizes ------------------------------------------------------
+IP_HEADER = 20
+TCP_HEADER = 20
+WSCALE_OPTION = 3   # kind, length, shift (padded in real stacks; close enough)
+PACK_OPTION = 8     # the paper: "adding an additional 8 bytes as a TCP Option"
+
+#: Conventional Ethernet MTUs used throughout the paper's evaluation.
+MTU_ETHERNET = 1500
+MTU_JUMBO = 9000
+
+
+def mss_for_mtu(mtu: int) -> int:
+    """Maximum segment size for an MTU (IP + TCP base headers removed)."""
+    return mtu - IP_HEADER - TCP_HEADER
+
+
+FlowKey = Tuple[str, int, str, int]
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class PackOption:
+    """AC/DC congestion feedback carried as a TCP option (§3.2).
+
+    ``total_bytes`` and ``marked_bytes`` are the receiver-module counters
+    for the flow: cumulative payload bytes received and the subset that
+    arrived with IP ECN = CE.
+    """
+
+    total_bytes: int
+    marked_bytes: int
+
+
+@dataclass
+class Packet:
+    """A TCP/IP packet (or, with TSO in mind, one wire segment).
+
+    ``payload_len`` is application payload; :attr:`size` adds header and
+    option overhead and is what links serialize and switch buffers account.
+    """
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    seq: int = 0
+    ack_seq: int = 0
+    payload_len: int = 0
+    # TCP flags
+    syn: bool = False
+    ack: bool = False
+    fin: bool = False
+    rst: bool = False
+    ece: bool = False
+    cwr: bool = False
+    # Flow control: raw 16-bit window field; actual window = field << wscale.
+    rwnd_field: int = 0xFFFF
+    wscale: Optional[int] = None  # window-scale option, present on SYNs only
+    # IP ECN codepoint.
+    ecn: int = ECN_NOT_ECT
+    # AC/DC option & bookkeeping.
+    pack: Optional[PackOption] = None
+    is_fack: bool = False   # dedicated feedback packet (dropped at sender vSwitch)
+    vm_ect: bool = False    # reserved bit: VM's own stack negotiated ECN
+    # TCP timestamp option (RTT estimation in guest stacks).
+    # -1 means "option absent" (virtual time starts at 0.0, so 0 is a
+    # perfectly valid echo value).
+    tsval: float = -1.0
+    tsecr: float = -1.0
+    # SACK option: up to 4 (start, end) byte ranges received out of order.
+    # The testbed runs with tcp_sack=1 (§5), and without it large-window
+    # loss recovery is unrealistically slow.
+    sack_blocks: Optional[Tuple[Tuple[int, int], ...]] = None
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Wire size in bytes: headers + options + payload."""
+        overhead = IP_HEADER + TCP_HEADER
+        if self.wscale is not None:
+            overhead += WSCALE_OPTION
+        if self.pack is not None:
+            overhead += PACK_OPTION
+        if self.sack_blocks:
+            overhead += 2 + 8 * len(self.sack_blocks)
+        return overhead + self.payload_len
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number just past this segment's payload."""
+        return self.seq + self.payload_len
+
+    def flow_key(self) -> FlowKey:
+        """5-tuple identity in the direction the packet travels."""
+        return (self.src, self.sport, self.dst, self.dport)
+
+    def reverse_key(self) -> FlowKey:
+        """5-tuple identity of the opposite direction (data vs ACK path)."""
+        return (self.dst, self.dport, self.src, self.sport)
+
+    # --- window helpers -------------------------------------------------
+    def advertised_window(self, wscale: int) -> int:
+        """Receive window in bytes given the connection's negotiated scale."""
+        return self.rwnd_field << wscale
+
+    def set_advertised_window(self, window_bytes: int, wscale: int) -> None:
+        """Encode ``window_bytes`` into the 16-bit field under ``wscale``.
+
+        Rounds *up* to the next representable value so that the encoded
+        window is never smaller than requested by less than one scale unit,
+        then clamps to the 16-bit ceiling.
+        """
+        if window_bytes < 0:
+            raise ValueError(f"negative window {window_bytes!r}")
+        unit = 1 << wscale
+        self.rwnd_field = min(0xFFFF, (window_bytes + unit - 1) >> wscale)
+
+    # --- ECN helpers ----------------------------------------------------
+    @property
+    def ect(self) -> bool:
+        """True if the packet is marked ECN-capable (or already CE)."""
+        return self.ecn in (ECN_ECT0, ECN_CE)
+
+    @property
+    def ce(self) -> bool:
+        return self.ecn == ECN_CE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            ch
+            for ch, on in (
+                ("S", self.syn), ("A", self.ack), ("F", self.fin),
+                ("R", self.rst), ("E", self.ece), ("C", self.cwr),
+            )
+            if on
+        )
+        return (
+            f"<Pkt {self.src}:{self.sport}->{self.dst}:{self.dport} "
+            f"seq={self.seq} ack={self.ack_seq} len={self.payload_len} "
+            f"[{flags}] ecn={self.ecn}>"
+        )
+
+
+def make_data_packet(
+    key: FlowKey,
+    seq: int,
+    payload_len: int,
+    ack_seq: int = 0,
+) -> Packet:
+    """Convenience constructor used heavily by tests."""
+    src, sport, dst, dport = key
+    return Packet(
+        src=src, sport=sport, dst=dst, dport=dport,
+        seq=seq, ack_seq=ack_seq, payload_len=payload_len, ack=True,
+    )
+
+
+def make_ack_packet(key: FlowKey, ack_seq: int, rwnd_field: int = 0xFFFF) -> Packet:
+    """Convenience constructor for a bare ACK of the *forward* key."""
+    src, sport, dst, dport = key
+    return Packet(
+        src=dst, sport=dport, dst=src, dport=sport,
+        ack=True, ack_seq=ack_seq, rwnd_field=rwnd_field,
+    )

@@ -1,0 +1,85 @@
+"""WRED/ECN marking as configured in the paper's evaluation.
+
+For DCTCP the switches mark ECN-capable packets that arrive to an
+*instantaneous* queue longer than the threshold K — a hard threshold, as
+DCTCP requires.  Non-ECT packets hitting the same WRED profile are
+**dropped**, which is the ECN-coexistence trap of Fig. 15/16 (Judd [36],
+Wu [72]).  Real WRED drops probabilistically along a ramp rather than at
+a cliff, so non-ECT drops here follow the classic profile: probability 0
+at K rising linearly to 1 at ``ramp_factor * K``.  (With a cliff, a
+competing DCTCP flow that parks the queue exactly at K would give
+non-ECT packets a strictly-zero delivery probability — harsher than any
+testbed measurement.)
+
+A disabled marker (``enabled=False``) reproduces the CUBIC baseline where
+WRED/ECN is off and only buffer exhaustion drops packets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .packet import ECN_CE, Packet
+
+#: DCTCP's recommended threshold at 10 Gb/s: 65 full-size 1.5 KB frames.
+DEFAULT_K_BYTES = 65 * 1500
+
+#: Non-ECT drop probability reaches 1.0 at ``ramp_factor * K``.  The ramp
+#: is sharp: a non-ECT flow competing with DCTCP (which parks the queue at
+#: K) must starve, as in Fig. 15a, while its occasional survivors let the
+#: Fig. 16 latency measurement exist at all.
+DEFAULT_RAMP_FACTOR = 1.25
+
+
+@dataclass
+class MarkDecision:
+    """Outcome of passing one arriving packet through the WRED profile."""
+
+    drop: bool
+    marked: bool
+
+
+class EcnMarker:
+    """Threshold marker on instantaneous queue occupancy.
+
+    ``decide`` is called at enqueue time with the occupancy *before* the
+    packet is admitted (standard arrival-based marking).
+    """
+
+    def __init__(self, enabled: bool = True,
+                 threshold_bytes: int = DEFAULT_K_BYTES,
+                 ramp_factor: float = DEFAULT_RAMP_FACTOR,
+                 seed: int = 0):
+        if threshold_bytes <= 0:
+            raise ValueError("marking threshold must be positive")
+        if ramp_factor < 1.0:
+            raise ValueError("ramp factor must be >= 1")
+        self.enabled = enabled
+        self.threshold = threshold_bytes
+        self.ramp_factor = ramp_factor
+        self.marked_packets = 0
+        self.dropped_packets = 0
+        self._rng = random.Random(seed ^ 0x5EED)
+
+    def _nonect_drop_probability(self, queue_bytes: int) -> float:
+        """Linear WRED ramp for ECN-incapable packets."""
+        if queue_bytes < self.threshold:
+            return 0.0
+        ramp_top = self.threshold * self.ramp_factor
+        if queue_bytes >= ramp_top or ramp_top == self.threshold:
+            return 1.0
+        return (queue_bytes - self.threshold) / (ramp_top - self.threshold)
+
+    def decide(self, packet: Packet, queue_bytes: int) -> MarkDecision:
+        """Apply the profile to ``packet`` arriving at ``queue_bytes``."""
+        if not self.enabled or queue_bytes < self.threshold:
+            return MarkDecision(drop=False, marked=False)
+        if packet.ect:
+            packet.ecn = ECN_CE
+            self.marked_packets += 1
+            return MarkDecision(drop=False, marked=True)
+        if self._rng.random() < self._nonect_drop_probability(queue_bytes):
+            self.dropped_packets += 1
+            return MarkDecision(drop=True, marked=False)
+        return MarkDecision(drop=False, marked=False)

@@ -1,0 +1,23 @@
+"""Guest TCP stack: connection state machine + pluggable congestion control."""
+
+from .connection import (
+    CLOSED,
+    ESTABLISHED,
+    FIN_WAIT,
+    SYN_RCVD,
+    SYN_SENT,
+    TIME_WAIT,
+    TcpConnection,
+)
+from . import cc
+
+__all__ = [
+    "CLOSED",
+    "ESTABLISHED",
+    "FIN_WAIT",
+    "SYN_RCVD",
+    "SYN_SENT",
+    "TIME_WAIT",
+    "TcpConnection",
+    "cc",
+]

@@ -1,0 +1,61 @@
+"""Pluggable congestion control registry (mirrors Linux's CC table).
+
+``make_cc("cubic", conn)`` is how a connection binds its algorithm;
+register custom algorithms with :func:`register` (the non-conforming stack
+used by the policing ablation does exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TYPE_CHECKING
+
+from .base import CongestionControl
+from .cubic import Cubic
+from .dctcp import Dctcp
+from .highspeed import HighSpeed
+from .illinois import Illinois
+from .reno import Reno
+from .vegas import Vegas
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..connection import TcpConnection
+
+_REGISTRY: Dict[str, Callable[..., CongestionControl]] = {}
+
+
+def register(name: str, factory: Callable[..., CongestionControl]) -> None:
+    """Add (or replace) an algorithm in the registry."""
+    _REGISTRY[name] = factory
+
+
+def make_cc(name: str, conn: "TcpConnection", **kwargs) -> CongestionControl:
+    """Instantiate the named algorithm bound to ``conn``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(conn, **kwargs)
+
+
+def available() -> list:
+    """Names of every registered algorithm."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (Reno, Cubic, Dctcp, Vegas, Illinois, HighSpeed):
+    register(_cls.name, _cls)
+
+__all__ = [
+    "CongestionControl",
+    "Cubic",
+    "Dctcp",
+    "HighSpeed",
+    "Illinois",
+    "Reno",
+    "Vegas",
+    "available",
+    "make_cc",
+    "register",
+]

@@ -1,0 +1,75 @@
+"""Pluggable congestion-control interface for the guest TCP stack.
+
+The paper's premise is that Linux congestion control is modular ("DCTCP's
+congestion control resides in tcp_dctcp.c and is only about 350 lines of
+code", §2.2); this package mirrors that modularity.  A
+:class:`CongestionControl` owns only window *policy*; all mechanism (loss
+detection, retransmission, flow control) lives in
+:class:`~repro.tcp.connection.TcpConnection`.
+
+Windows are in **bytes** throughout (the connection's ``cwnd``); algorithms
+that think in packets convert via the connection's MSS.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..connection import TcpConnection
+
+
+class CongestionControl:
+    """Base class: NewReno-style slow start and congestion avoidance.
+
+    Subclasses override the hooks they need; the defaults implement the
+    canonical behaviour (halve on loss, +1 MSS per RTT in avoidance).
+    """
+
+    name = "base"
+
+    def __init__(self, conn: "TcpConnection"):
+        self.conn = conn
+
+    # -- growth ----------------------------------------------------------
+    def on_ack(self, acked_bytes: int, rtt: Optional[float]) -> None:
+        """Called for every ACK that advances ``snd_una`` outside recovery."""
+        self.reno_increase(acked_bytes)
+
+    def reno_increase(self, acked_bytes: int) -> None:
+        """Slow start below ssthresh, else +MSS per window (per-ACK share)."""
+        conn = self.conn
+        if conn.cwnd < conn.ssthresh:
+            conn.cwnd += acked_bytes
+        else:
+            # Appropriate byte counting: cwnd += MSS * (acked / cwnd).
+            conn.cwnd += max(1, conn.mss * acked_bytes // max(conn.cwnd, 1))
+        conn.cwnd = min(conn.cwnd, conn.max_cwnd)
+
+    # -- reductions --------------------------------------------------------
+    def ssthresh_after_loss(self) -> int:
+        """New ssthresh when loss is detected (bytes)."""
+        return max(self.conn.cwnd // 2, self.min_cwnd())
+
+    def on_enter_recovery(self) -> None:
+        """Extra bookkeeping when fast recovery starts (e.g. CUBIC epoch)."""
+
+    def on_rto(self) -> None:
+        """Extra bookkeeping on a retransmission timeout."""
+
+    def on_ecn_signal(self) -> bool:
+        """React to an ECE-marked ACK.
+
+        Returns True if the connection should perform the classic
+        once-per-window reduction (cwnd = ssthresh_after_loss()); DCTCP
+        returns False and manages its own proportional reduction.
+        """
+        return True
+
+    def on_ack_ecn_info(self, acked_bytes: int, marked: bool) -> None:
+        """Per-ACK ECN accounting (DCTCP's alpha estimator)."""
+
+    # -- floors ------------------------------------------------------------
+    def min_cwnd(self) -> int:
+        """Linux's 2-packet congestion-window floor."""
+        return 2 * self.conn.mss

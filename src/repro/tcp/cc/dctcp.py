@@ -1,0 +1,83 @@
+"""DCTCP congestion control for the guest stack (Alizadeh et al.).
+
+The estimator follows the paper and the Linux module (tcp_dctcp.c):
+
+* the receiver echoes CE marks back per ACK (this reproduction ACKs every
+  segment, so the echo is exact — the precise-echo state machine of the
+  DCTCP paper exists to survive delayed ACKs);
+* the sender maintains ``alpha``, an EWMA of the fraction of marked bytes,
+  updated once per window (when the cumulative ACK passes the sequence
+  snapshot taken at the last update);
+* on congestion the window is cut to ``cwnd * (1 - alpha/2)`` at most once
+  per window; otherwise growth is NewReno's.
+
+``DCTCP_MIN_CWND_MSS`` is Linux's 2-packet floor, which §5.2 of the AC/DC
+paper identifies as the cause of DCTCP's rising incast RTT — AC/DC's
+byte-granular RWND can go lower.  The floor is a parameter here so the
+ablation bench can reproduce exactly that comparison.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl
+
+DCTCP_G = 1.0 / 16.0        # alpha EWMA gain (Linux: dctcp_shift_g = 4)
+DCTCP_ALPHA_MAX = 1.0
+DCTCP_MIN_CWND_MSS = 2
+
+
+class Dctcp(CongestionControl):
+    """Guest DCTCP with per-window alpha update and proportional decrease."""
+
+    name = "dctcp"
+
+    def __init__(self, conn, min_cwnd_mss: int = DCTCP_MIN_CWND_MSS):
+        super().__init__(conn)
+        self.alpha = 1.0                 # Linux starts alpha at 1
+        self.acked_bytes_total = 0
+        self.acked_bytes_ecn = 0
+        self.window_end = conn.snd_nxt   # next alpha update boundary
+        self.reduced_this_window = False
+        self.min_cwnd_mss = min_cwnd_mss
+
+    # ------------------------------------------------------------------
+    def on_ack_ecn_info(self, acked_bytes: int, marked: bool) -> None:
+        self.acked_bytes_total += acked_bytes
+        if marked:
+            self.acked_bytes_ecn += acked_bytes
+        if self.conn.snd_una >= self.window_end:
+            self._update_alpha()
+
+    def _update_alpha(self) -> None:
+        if self.acked_bytes_total > 0:
+            fraction = self.acked_bytes_ecn / self.acked_bytes_total
+        else:
+            fraction = 0.0
+        self.alpha = (1.0 - DCTCP_G) * self.alpha + DCTCP_G * fraction
+        self.acked_bytes_total = 0
+        self.acked_bytes_ecn = 0
+        self.window_end = self.conn.snd_nxt
+        self.reduced_this_window = False
+
+    # ------------------------------------------------------------------
+    def on_ecn_signal(self) -> bool:
+        """Proportional cut, at most once per window; suppress the classic
+        halve-on-ECE reaction in the connection."""
+        if not self.reduced_this_window:
+            conn = self.conn
+            new_cwnd = int(conn.cwnd * (1.0 - self.alpha / 2.0))
+            conn.cwnd = max(new_cwnd, self.min_cwnd())
+            conn.ssthresh = conn.cwnd
+            self.reduced_this_window = True
+        return False
+
+    def ssthresh_after_loss(self) -> int:
+        # Loss is a strong signal: Linux applies the alpha cut; the AC/DC
+        # datapath (Fig. 5) additionally saturates alpha on loss, which we
+        # mirror for parity between guest and vSwitch implementations.
+        self.alpha = DCTCP_ALPHA_MAX
+        conn = self.conn
+        return max(int(conn.cwnd * (1.0 - self.alpha / 2.0)), self.min_cwnd())
+
+    def min_cwnd(self) -> int:
+        return self.min_cwnd_mss * self.conn.mss

@@ -1,0 +1,61 @@
+"""HighSpeed TCP (RFC 3649, Floyd) — large-window AIMD.
+
+For windows above ``LOW_WINDOW`` segments, HSTCP uses a response function
+that grows the additive-increase a(w) and shrinks the multiplicative
+decrease b(w) with the window:
+
+    b(w) = (B_HIGH - 0.5) * (log w - log W_L) / (log W_H - log W_L) + 0.5
+    a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w)),   p(w) = 0.078 / w^1.2
+
+Below ``LOW_WINDOW`` it is exactly Reno, per the RFC.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .base import CongestionControl
+
+LOW_WINDOW = 38.0        # segments; Reno region boundary
+HIGH_WINDOW = 83000.0    # segments; design point of the response function
+B_HIGH = 0.1             # decrease factor at HIGH_WINDOW
+
+
+def hstcp_beta(w_segments: float) -> float:
+    """Multiplicative-decrease fraction b(w) for window ``w`` (segments)."""
+    if w_segments <= LOW_WINDOW:
+        return 0.5
+    num = math.log(w_segments) - math.log(LOW_WINDOW)
+    den = math.log(HIGH_WINDOW) - math.log(LOW_WINDOW)
+    return (B_HIGH - 0.5) * (num / den) + 0.5
+
+
+def hstcp_alpha(w_segments: float) -> float:
+    """Additive-increase a(w), in segments per RTT."""
+    if w_segments <= LOW_WINDOW:
+        return 1.0
+    b = hstcp_beta(w_segments)
+    p = 0.078 / (w_segments ** 1.2)
+    return max(1.0, (w_segments ** 2) * p * 2.0 * b / (2.0 - b))
+
+
+class HighSpeed(CongestionControl):
+    """HSTCP: window-dependent AIMD coefficients."""
+
+    name = "highspeed"
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float]) -> None:
+        conn = self.conn
+        if conn.cwnd < conn.ssthresh:
+            conn.cwnd = min(conn.cwnd + acked_bytes, conn.max_cwnd)
+            return
+        w = conn.cwnd / conn.mss
+        a = hstcp_alpha(w)
+        increase = a * conn.mss * acked_bytes / max(conn.cwnd, 1)
+        conn.cwnd = min(int(conn.cwnd + increase), conn.max_cwnd)
+
+    def ssthresh_after_loss(self) -> int:
+        conn = self.conn
+        b = hstcp_beta(conn.cwnd / conn.mss)
+        return max(int(conn.cwnd * (1.0 - b)), self.min_cwnd())

@@ -1,0 +1,95 @@
+"""TCP Illinois (Liu, Basar, Srikant) — loss+delay hybrid, the most
+aggressive stack in the paper's Fig. 1 experiment.
+
+Illinois is AIMD with delay-modulated coefficients: the additive increase
+``alpha`` shrinks from ``ALPHA_MAX`` toward ``ALPHA_MIN`` as average
+queueing delay grows, and the multiplicative decrease ``beta`` grows from
+``BETA_MIN`` to ``BETA_MAX``.  Formulas follow the paper / Linux's
+tcp_illinois.c (kappa parametrisation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CongestionControl
+
+ALPHA_MIN = 0.3    # segments per RTT
+ALPHA_MAX = 10.0
+BETA_MIN = 0.125
+BETA_MAX = 0.5
+D1_FRACTION = 0.01   # delay below d1 = max increase
+D2_FRACTION = 0.1    # delay range for beta modulation
+D3_FRACTION = 0.8
+WIN_THRESH_MSS = 15  # below this window, plain Reno behaviour
+
+
+class Illinois(CongestionControl):
+    """C-AIMD: concave additive increase, delay-adaptive decrease."""
+
+    name = "illinois"
+
+    def __init__(self, conn):
+        super().__init__(conn)
+        self.base_rtt = float("inf")
+        self.max_rtt = 0.0
+        self.rtt_sum = 0.0
+        self.rtt_cnt = 0
+        self.alpha = ALPHA_MAX
+        self.beta = BETA_MIN
+        self.next_update_seq = conn.snd_nxt
+        self.acked_since_update = 0
+
+    # ------------------------------------------------------------------
+    def _update_params(self) -> None:
+        """Recompute (alpha, beta) from the average delay of the last RTT."""
+        if self.rtt_cnt == 0 or self.base_rtt == float("inf"):
+            return
+        avg_rtt = self.rtt_sum / self.rtt_cnt
+        delay = max(avg_rtt - self.base_rtt, 0.0)
+        max_delay = max(self.max_rtt - self.base_rtt, 1e-9)
+        cwnd_mss = self.conn.cwnd / self.conn.mss
+        if cwnd_mss < WIN_THRESH_MSS:
+            self.alpha, self.beta = 1.0, BETA_MAX
+            return
+        d1 = D1_FRACTION * max_delay
+        if delay <= d1:
+            self.alpha = ALPHA_MAX
+        else:
+            # alpha(d) = k1 / (k2 + d), fit so alpha(d1)=max, alpha(dm)=min.
+            dm = max_delay
+            k1 = (ALPHA_MIN * ALPHA_MAX * (dm - d1)) / (ALPHA_MAX - ALPHA_MIN)
+            k2 = k1 / ALPHA_MAX - d1
+            self.alpha = max(ALPHA_MIN, k1 / (k2 + delay))
+        d2 = D2_FRACTION * max_delay
+        d3 = D3_FRACTION * max_delay
+        if delay <= d2:
+            self.beta = BETA_MIN
+        elif delay >= d3:
+            self.beta = BETA_MAX
+        else:
+            self.beta = (BETA_MIN * (d3 - delay) + BETA_MAX * (delay - d2)) / (d3 - d2)
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float]) -> None:
+        conn = self.conn
+        if rtt is not None and rtt > 0:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self.max_rtt = max(self.max_rtt, rtt)
+            self.rtt_sum += rtt
+            self.rtt_cnt += 1
+        if conn.cwnd < conn.ssthresh:
+            conn.cwnd = min(conn.cwnd + acked_bytes, conn.max_cwnd)
+            return
+        self.acked_since_update += acked_bytes
+        if conn.snd_una >= self.next_update_seq:
+            self._update_params()
+            self.next_update_seq = conn.snd_nxt
+            self.rtt_sum = 0.0
+            self.rtt_cnt = 0
+        # alpha segments per RTT, spread per-ACK.
+        increase = self.alpha * conn.mss * acked_bytes / max(conn.cwnd, 1)
+        conn.cwnd = min(int(conn.cwnd + increase), conn.max_cwnd)
+
+    def ssthresh_after_loss(self) -> int:
+        conn = self.conn
+        return max(int(conn.cwnd * (1.0 - self.beta)), self.min_cwnd())

@@ -1,0 +1,18 @@
+"""TCP NewReno (RFC 6582 window dynamics).
+
+The base class already implements Reno's slow start / congestion avoidance
+and halve-on-loss; this subclass only pins the name.  It is also the
+fallback algorithm AC/DC's in-vSwitch DCTCP uses for its additive-increase
+phase ("tcp_cong_avoid advances CWND based on TCP New Reno's algorithm",
+§3.2 / Fig. 5).
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl
+
+
+class Reno(CongestionControl):
+    """Classic NewReno: AI = 1 MSS/RTT, MD = 1/2."""
+
+    name = "reno"

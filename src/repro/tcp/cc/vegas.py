@@ -1,0 +1,68 @@
+"""TCP Vegas (Brakmo & Peterson) — the delay-based stack in Fig. 1/Table 1.
+
+Vegas estimates the backlog it keeps in the network:
+
+    diff = cwnd * (rtt - base_rtt) / rtt        (in segments)
+
+and once per RTT adjusts: grow by one MSS if ``diff < alpha``, shrink by
+one MSS if ``diff > beta``, hold otherwise.  ``base_rtt`` is the minimum
+RTT observed.  Loss handling falls back to Reno, as in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CongestionControl
+
+VEGAS_ALPHA = 2   # segments of backlog: lower bound
+VEGAS_BETA = 4    # segments of backlog: upper bound
+VEGAS_GAMMA = 1   # slow-start backlog bound
+
+
+class Vegas(CongestionControl):
+    """Window-based Vegas with once-per-RTT updates."""
+
+    name = "vegas"
+
+    def __init__(self, conn):
+        super().__init__(conn)
+        self.base_rtt = float("inf")
+        self.min_rtt_window = float("inf")   # min RTT within current window
+        self.rtt_count = 0
+        self.next_update_seq = conn.snd_nxt
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float]) -> None:
+        conn = self.conn
+        if rtt is not None and rtt > 0:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self.min_rtt_window = min(self.min_rtt_window, rtt)
+            self.rtt_count += 1
+        if conn.snd_una < self.next_update_seq:
+            return
+        self.next_update_seq = conn.snd_nxt
+        if self.rtt_count < 2 or self.min_rtt_window == float("inf"):
+            # Not enough samples this window: Reno growth, as Linux does.
+            self.reno_increase(acked_bytes)
+            self._reset_window()
+            return
+        rtt = self.min_rtt_window
+        mss = conn.mss
+        cwnd_seg = conn.cwnd / mss
+        diff = cwnd_seg * (rtt - self.base_rtt) / rtt
+        if conn.cwnd < conn.ssthresh:
+            # Slow start, halted when backlog builds.
+            if diff > VEGAS_GAMMA:
+                conn.ssthresh = conn.cwnd
+                conn.cwnd = max(conn.cwnd - mss, self.min_cwnd())
+            else:
+                conn.cwnd = min(conn.cwnd * 2, conn.max_cwnd)
+        elif diff < VEGAS_ALPHA:
+            conn.cwnd = min(conn.cwnd + mss, conn.max_cwnd)
+        elif diff > VEGAS_BETA:
+            conn.cwnd = max(conn.cwnd - mss, self.min_cwnd())
+        self._reset_window()
+
+    def _reset_window(self) -> None:
+        self.min_rtt_window = float("inf")
+        self.rtt_count = 0

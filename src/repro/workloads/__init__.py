@@ -1,0 +1,30 @@
+"""Traffic: applications, workload orchestrators, trace distributions."""
+
+from .apps import BulkSender, EchoSink, MessageStream, PingPong, Sink
+from .generators import ConcurrentStride, Shuffle, TraceDriven, start_incast
+from .traces import (
+    DATA_MINING_CDF,
+    MICE_CUTOFF_BYTES,
+    WEB_SEARCH_CDF,
+    FlowSizeDistribution,
+    data_mining,
+    web_search,
+)
+
+__all__ = [
+    "BulkSender",
+    "ConcurrentStride",
+    "DATA_MINING_CDF",
+    "EchoSink",
+    "FlowSizeDistribution",
+    "MICE_CUTOFF_BYTES",
+    "MessageStream",
+    "PingPong",
+    "Shuffle",
+    "Sink",
+    "TraceDriven",
+    "WEB_SEARCH_CDF",
+    "data_mining",
+    "start_incast",
+    "web_search",
+]

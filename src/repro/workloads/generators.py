@@ -1,0 +1,213 @@
+"""Workload orchestrators for the macrobenchmarks (§5.2).
+
+Each generator wires applications (``repro.workloads.apps``) over a star
+topology the way the paper describes:
+
+* :func:`start_incast` — N-to-1 fan-in of long-lived flows;
+* :class:`ConcurrentStride` — server *i* sends background transfers to
+  servers *i+1..i+4* (mod N) sequentially, plus fixed-interval mice to
+  *i+8*;
+* :class:`Shuffle` — every server sends a block to every other server in
+  random order, at most ``fanout`` transfers at a time, plus mice;
+* :class:`TraceDriven` — per-server applications sampling message sizes
+  from a flow-size distribution, sent to random destinations
+  back-to-back over long-lived connections.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.collectors import FctRecorder, FlowRecord
+from ..net.host import Host
+from ..sim.engine import Simulator
+from .apps import BulkSender, MessageStream, Sink
+from .traces import FlowSizeDistribution
+
+
+def start_incast(
+    sim: Simulator,
+    senders: Sequence[Host],
+    receiver: Host,
+    port: int = 5000,
+    size_bytes: Optional[int] = None,
+    start_jitter: Sequence[float] = (),
+    conn_opts: Optional[dict] = None,
+    sink_opts: Optional[dict] = None,
+) -> List[BulkSender]:
+    """N-to-1 incast of long-lived (or fixed-size) flows."""
+    Sink(receiver, port, **(sink_opts or {}))
+    flows = []
+    for i, sender in enumerate(senders):
+        start = start_jitter[i] if i < len(start_jitter) else 0.0
+        flows.append(BulkSender(
+            sim, sender, receiver.addr, port,
+            size_bytes=size_bytes, start_at=start,
+            conn_opts=dict(conn_opts or {}),
+        ))
+    return flows
+
+
+class ConcurrentStride:
+    """§5.2 'concurrent stride': background stride-4 + mice to i+8."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: Sequence[Host],
+        recorder: FctRecorder,
+        background_bytes: int,
+        background_rounds: int = 1,
+        mice_bytes: int = 16 * 1024,
+        mice_interval: float = 0.1,
+        duration: float = 2.0,
+        stride: int = 4,
+        mice_offset: int = 8,
+        port: int = 5000,
+        conn_opts: Optional[dict] = None,
+    ):
+        self.sim = sim
+        self.hosts = list(hosts)
+        self.recorder = recorder
+        n = len(self.hosts)
+        conn_opts = conn_opts or {}
+        self.sinks = {h.addr: Sink(h, port, **conn_opts) for h in self.hosts}
+        self.streams: List[MessageStream] = []
+        for i, host in enumerate(self.hosts):
+            # Background: sequential transfers to the next `stride` hosts.
+            for k in range(1, stride + 1):
+                dst = self.hosts[(i + k) % n]
+                stream = MessageStream(
+                    sim, host, dst.addr, port, self.sinks[dst.addr],
+                    recorder, label="background", conn_opts=dict(conn_opts))
+                sizes = [background_bytes] * background_rounds
+                sim.schedule_at(0.0, lambda s=stream, z=sizes: s.send_sequential(z))
+                self.streams.append(stream)
+            # Mice: fixed-interval small messages to host i+offset; the
+            # streams are staggered across the interval (real servers'
+            # timers are not phase-locked).
+            dst = self.hosts[(i + mice_offset) % n]
+            mice = MessageStream(
+                sim, host, dst.addr, port, self.sinks[dst.addr],
+                recorder, label="mice", conn_opts=dict(conn_opts))
+            offset = (i / n) * mice_interval
+            sim.schedule_at(offset, lambda s=mice: s.send_every(
+                mice_bytes, mice_interval, until=duration))
+            self.streams.append(mice)
+
+
+class Shuffle:
+    """§5.2 'shuffle': all-to-all blocks, ≤ ``fanout`` concurrent sends."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: Sequence[Host],
+        recorder: FctRecorder,
+        block_bytes: int,
+        rng: random.Random,
+        fanout: int = 2,
+        mice_bytes: int = 16 * 1024,
+        mice_interval: float = 0.1,
+        mice_until: float = 2.0,
+        mice_offset: int = 8,
+        port: int = 5000,
+        conn_opts: Optional[dict] = None,
+    ):
+        self.sim = sim
+        self.hosts = list(hosts)
+        self.recorder = recorder
+        self.block_bytes = block_bytes
+        self.fanout = fanout
+        conn_opts = conn_opts or {}
+        self.conn_opts = conn_opts
+        self.port = port
+        n = len(self.hosts)
+        self.sinks = {h.addr: Sink(h, port, **conn_opts) for h in self.hosts}
+        # Per-sender randomized destination order and progress cursor.
+        self._pending: Dict[str, List[Host]] = {}
+        self._active: Dict[str, int] = {}
+        for host in self.hosts:
+            order = [h for h in self.hosts if h is not host]
+            rng.shuffle(order)
+            self._pending[host.addr] = order
+            self._active[host.addr] = 0
+        for i, host in enumerate(self.hosts):
+            dst = self.hosts[(i + mice_offset) % n]
+            mice = MessageStream(
+                sim, host, dst.addr, port, self.sinks[dst.addr],
+                recorder, label="mice", conn_opts=dict(conn_opts))
+            offset = (i / n) * mice_interval
+            sim.schedule_at(offset, lambda s=mice: s.send_every(
+                mice_bytes, mice_interval, until=mice_until))
+        for host in self.hosts:
+            for _ in range(fanout):
+                sim.schedule_at(0.0, lambda h=host: self._launch_next(h))
+
+    def _launch_next(self, host: Host) -> None:
+        pending = self._pending[host.addr]
+        if not pending or self._active[host.addr] >= self.fanout:
+            return
+        dst = pending.pop(0)
+        self._active[host.addr] += 1
+        stream = MessageStream(
+            self.sim, host, dst.addr, self.port, self.sinks[dst.addr],
+            self.recorder, label="background", conn_opts=dict(self.conn_opts))
+
+        def done(_record: FlowRecord, h=host) -> None:
+            self._active[h.addr] -= 1
+            self._launch_next(h)
+
+        stream.on_message_complete = done
+        stream.send_message(self.block_bytes)
+
+    def finished(self) -> bool:
+        return all(not p for p in self._pending.values()) and \
+            all(a == 0 for a in self._active.values())
+
+
+class TraceDriven:
+    """§5.2 trace-driven load: sampled message sizes to random peers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: Sequence[Host],
+        recorder: FctRecorder,
+        distribution: FlowSizeDistribution,
+        rng: random.Random,
+        apps_per_host: int = 5,
+        messages_per_app: int = 20,
+        port: int = 5000,
+        conn_opts: Optional[dict] = None,
+    ):
+        self.sim = sim
+        self.recorder = recorder
+        conn_opts = conn_opts or {}
+        sinks = {h.addr: Sink(h, port, **conn_opts) for h in hosts}
+        hosts = list(hosts)
+        for host in hosts:
+            peers = [h for h in hosts if h is not host]
+            for app in range(apps_per_host):
+                dst = rng.choice(peers)
+                sizes = [distribution.sample(rng) for _ in range(messages_per_app)]
+                labels = ["mice" if s < 10_000 else "elephant" for s in sizes]
+                stream = MessageStream(
+                    sim, host, dst.addr, port, sinks[dst.addr], recorder,
+                    label=f"trace:{labels[0]}", conn_opts=dict(conn_opts))
+                # Label per message: wrap the recorder open via send loop.
+                self._send_labeled(stream, sizes)
+
+    def _send_labeled(self, stream: MessageStream, sizes: List[int]) -> None:
+        remaining = list(sizes)
+
+        def send_next(_record=None) -> None:
+            if not remaining:
+                return
+            size = remaining.pop(0)
+            stream.label = "mice" if size < 10_000 else "elephant"
+            stream.send_message(size)
+
+        stream.on_message_complete = send_next
+        self.sim.schedule_at(0.0, send_next)

@@ -1,0 +1,93 @@
+"""Unit tests for the shared buffer with dynamic thresholding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.buffer import SharedBuffer
+
+
+def test_admit_and_release():
+    buf = SharedBuffer(1000, dt_alpha=1.0)
+    assert buf.try_admit(0, 400)
+    assert buf.used == 400
+    assert buf.queue_bytes(0) == 400
+    buf.release(0, 400)
+    assert buf.used == 0
+
+
+def test_capacity_is_hard_limit():
+    buf = SharedBuffer(1000, dt_alpha=100.0)
+    assert buf.try_admit(0, 900)
+    assert not buf.try_admit(1, 200)
+    assert buf.try_admit(1, 100)
+
+
+def test_dynamic_threshold_single_queue():
+    """With alpha=1, one queue converges to at most half the buffer."""
+    buf = SharedBuffer(1000, dt_alpha=1.0)
+    admitted = 0
+    for _ in range(100):
+        if buf.try_admit(0, 10):
+            admitted += 10
+    # q <= alpha * (capacity - q)  =>  q <= 500
+    assert 450 <= admitted <= 500
+
+
+def test_dynamic_threshold_shrinks_under_contention():
+    """A second congested queue reduces the first queue's allowance."""
+    buf = SharedBuffer(1000, dt_alpha=1.0)
+    while buf.try_admit(0, 10):
+        pass
+    q0_alone = buf.queue_bytes(0)
+    buf2 = SharedBuffer(1000, dt_alpha=1.0)
+    for _ in range(200):
+        buf2.try_admit(0, 10)
+        buf2.try_admit(1, 10)
+    assert buf2.queue_bytes(0) < q0_alone
+
+
+def test_threshold_formula():
+    buf = SharedBuffer(1000, dt_alpha=2.0)
+    assert buf.threshold() == 2000
+    buf.try_admit(0, 300)
+    assert buf.threshold() == pytest.approx(1400)
+
+
+def test_release_more_than_held_raises():
+    buf = SharedBuffer(1000)
+    buf.try_admit(0, 100)
+    with pytest.raises(ValueError):
+        buf.release(0, 200)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        SharedBuffer(0)
+    with pytest.raises(ValueError):
+        SharedBuffer(100, dt_alpha=0)
+
+
+def test_register_queue_idempotent():
+    buf = SharedBuffer(100)
+    buf.register_queue(3)
+    buf.try_admit(3, 10)
+    buf.register_queue(3)
+    assert buf.queue_bytes(3) == 10
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 200),
+                          st.booleans()), max_size=200))
+def test_accounting_invariants(ops):
+    """used == sum of queues, never negative, never above capacity."""
+    buf = SharedBuffer(2000, dt_alpha=1.5)
+    held = {q: [] for q in range(4)}
+    for queue, size, is_admit in ops:
+        if is_admit:
+            if buf.try_admit(queue, size):
+                held[queue].append(size)
+        elif held[queue]:
+            buf.release(queue, held[queue].pop())
+        assert 0 <= buf.used <= buf.capacity
+        assert buf.used == sum(sum(v) for v in held.values())
+        for q in range(4):
+            assert buf.queue_bytes(q) == sum(held[q])

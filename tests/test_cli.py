@@ -1,0 +1,34 @@
+"""Tests for the `python -m repro.experiments` convenience CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, _shorten, main
+
+
+def test_list_enumerates_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(EXPERIMENTS)
+    # Every §5 figure/table is runnable from the CLI.
+    for required in ("fig01", "fig08", "table1", "fig18-19", "fig23"):
+        assert required in out
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_shorten_truncates_long_lists():
+    value = {"samples": list(range(5000)), "n": 1}
+    short = _shorten(value, limit=10)
+    assert len(short["samples"]) == 11
+    assert "5000 items" in short["samples"][-1]
+    assert short["n"] == 1
+
+
+def test_registry_functions_are_callable():
+    for name, fn in EXPERIMENTS.items():
+        assert callable(fn), name

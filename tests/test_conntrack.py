@@ -1,0 +1,134 @@
+"""Unit tests for the §3.1 congestion-state inference."""
+
+from repro.core.conntrack import ConnTrack, DUPACK_THRESHOLD
+from repro.net.packet import Packet
+
+
+def data(seq, length=1000):
+    return Packet(src="a", dst="b", sport=1, dport=2, seq=seq,
+                  payload_len=length)
+
+
+def ack(ack_seq):
+    return Packet(src="b", dst="a", sport=2, dport=1, ack=True,
+                  ack_seq=ack_seq)
+
+
+def test_starts_uninitialized():
+    ct = ConnTrack()
+    assert not ct.initialized
+    assert ct.bytes_outstanding == 0
+
+
+def test_syn_seeds_sequence_space():
+    ct = ConnTrack()
+    syn = Packet(src="a", dst="b", sport=1, dport=2, seq=100, syn=True)
+    ct.on_egress_syn(syn)
+    assert ct.snd_una == 100
+    assert ct.snd_nxt == 101
+
+
+def test_snd_nxt_advances_with_data():
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 1000))
+    ct.on_egress_data(data(1000, 1000))
+    assert ct.snd_nxt == 2000
+    assert ct.bytes_outstanding == 2000
+
+
+def test_retransmission_does_not_move_snd_nxt():
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 1000))
+    ct.on_egress_data(data(1000, 1000))
+    ct.on_egress_data(data(0, 1000))  # retransmission
+    assert ct.snd_nxt == 2000
+
+
+def test_new_ack_advances_snd_una():
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 3000))
+    verdict = ct.on_ingress_ack(ack(2000), now=1.0)
+    assert verdict.newly_acked == 2000
+    assert ct.snd_una == 2000
+    assert ct.bytes_outstanding == 1000
+
+
+def test_dupack_counting_and_loss_threshold():
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 5000))
+    ct.on_ingress_ack(ack(1000), now=0.0)
+    verdicts = [ct.on_ingress_ack(ack(1000), now=0.0)
+                for _ in range(DUPACK_THRESHOLD)]
+    assert all(v.is_dupack for v in verdicts)
+    assert [v.loss_detected for v in verdicts] == [False, False, True]
+    assert ct.dupacks == 3
+
+
+def test_new_ack_resets_dupacks():
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 5000))
+    ct.on_ingress_ack(ack(1000), now=0.0)
+    ct.on_ingress_ack(ack(1000), now=0.0)
+    ct.on_ingress_ack(ack(2000), now=0.0)
+    assert ct.dupacks == 0
+
+
+def test_ack_with_payload_is_not_a_dupack():
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 5000))
+    ct.on_ingress_ack(ack(1000), now=0.0)
+    piggy = Packet(src="b", dst="a", sport=2, dport=1, ack=True,
+                   ack_seq=1000, payload_len=500)
+    verdict = ct.on_ingress_ack(piggy, now=0.0)
+    assert not verdict.is_dupack
+
+
+def test_dupack_needs_outstanding_data():
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 1000))
+    ct.on_ingress_ack(ack(1000), now=0.0)  # everything acked
+    verdict = ct.on_ingress_ack(ack(1000), now=0.0)
+    assert not verdict.is_dupack
+
+
+def test_timeout_inferred_only_with_outstanding_bytes():
+    ct = ConnTrack()
+    assert not ct.infer_timeout()
+    ct.on_egress_data(data(0, 1000))
+    assert ct.infer_timeout()
+    assert ct.timeouts_inferred == 1
+    ct.on_ingress_ack(ack(1000), now=0.0)
+    assert not ct.infer_timeout()
+
+
+def test_first_ack_initializes():
+    ct = ConnTrack()
+    verdict = ct.on_ingress_ack(ack(500), now=0.0)
+    assert verdict.newly_acked == 0
+    assert ct.snd_una == 500
+
+
+def test_ack_beyond_snd_nxt_tracks_forward():
+    """An ACK ahead of everything we saw (e.g. entry created mid-flow)."""
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 1000))
+    verdict = ct.on_ingress_ack(ack(5000), now=0.0)
+    assert ct.snd_una == 5000
+    assert ct.snd_nxt == 5000
+    assert ct.bytes_outstanding == 0
+
+
+def test_ack_gap_estimate_tracks_cadence():
+    """The decaying-max gap estimate ~follows the ACK inter-arrival."""
+    ct = ConnTrack()
+    ct.on_egress_data(data(0, 100_000))
+    t = 0.0
+    for i in range(1, 20):
+        t += 0.010  # one ACK per 10 ms (a WAN RTT)
+        ct.on_ingress_ack(ack(i * 1000), now=t)
+    assert 0.009 <= ct.ack_gap_estimate <= 0.011
+    # Cadence speeds up: the estimate decays toward the new gap.
+    for i in range(20, 200):
+        t += 0.0001
+        ct.on_ingress_ack(ack(i * 1000), now=t)
+    assert ct.ack_gap_estimate < 0.002

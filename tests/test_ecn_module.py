@@ -1,0 +1,54 @@
+"""Unit tests for AC/DC's ECN header manipulation (§3.2)."""
+
+from repro.core.ecn import mark_egress_data, scrub_ingress_ack, scrub_ingress_data
+from repro.net.packet import ECN_CE, ECN_ECT0, ECN_NOT_ECT, Packet
+
+
+def pkt(ecn=ECN_NOT_ECT, ece=False, vm_ect=False):
+    return Packet(src="a", dst="b", sport=1, dport=2, payload_len=100,
+                  ecn=ecn, ece=ece, vm_ect=vm_ect)
+
+
+def test_mark_egress_legacy_vm():
+    p = pkt(ECN_NOT_ECT)
+    changed = mark_egress_data(p)
+    assert changed
+    assert p.ecn == ECN_ECT0
+    assert p.vm_ect is False  # reserved bit remembers the VM's setting
+
+
+def test_mark_egress_ecn_vm_is_noop():
+    p = pkt(ECN_ECT0)
+    changed = mark_egress_data(p)
+    assert not changed
+    assert p.vm_ect is True
+
+
+def test_scrub_ingress_data_strips_ce_for_ecn_vm():
+    p = pkt(ECN_CE, vm_ect=True)
+    assert scrub_ingress_data(p)
+    assert p.ecn == ECN_ECT0  # capability kept, congestion signal removed
+
+
+def test_scrub_ingress_data_restores_legacy_vm():
+    p = pkt(ECN_CE, vm_ect=False)
+    assert scrub_ingress_data(p)
+    assert p.ecn == ECN_NOT_ECT
+
+
+def test_scrub_ingress_data_unmarked_legacy():
+    p = pkt(ECN_ECT0, vm_ect=False)
+    assert scrub_ingress_data(p)
+    assert p.ecn == ECN_NOT_ECT
+
+
+def test_scrub_ingress_data_idempotent():
+    p = pkt(ECN_ECT0, vm_ect=True)
+    assert not scrub_ingress_data(p)
+
+
+def test_scrub_ingress_ack_clears_ece():
+    p = pkt(ece=True)
+    assert scrub_ingress_ack(p)
+    assert not p.ece
+    assert not scrub_ingress_ack(p)  # second scrub: nothing to do

@@ -1,0 +1,96 @@
+"""Unit tests for RWND enforcement and policing (§3.3)."""
+
+import pytest
+
+from repro.core.enforcement import Policer, WindowEnforcer
+from repro.net.packet import Packet
+
+
+def ack_with_window(window_bytes, wscale):
+    p = Packet(src="b", dst="a", sport=2, dport=1, ack=True)
+    p.set_advertised_window(window_bytes, wscale)
+    return p
+
+
+def test_enforce_overwrites_smaller_window():
+    enforcer = WindowEnforcer()
+    ack = ack_with_window(1 << 20, 9)
+    assert enforcer.enforce(ack, 50_000, 9)
+    assert ack.advertised_window(9) <= 50_000 + (1 << 9)
+    assert enforcer.rewrites == 1
+
+
+def test_enforce_preserves_tighter_original():
+    """Never lie upward about receive buffer space."""
+    enforcer = WindowEnforcer()
+    ack = ack_with_window(10_000, 9)
+    assert not enforcer.enforce(ack, 1 << 20, 9)
+    assert ack.advertised_window(9) < 20_000
+    assert enforcer.passes == 1
+
+
+def test_enforce_equal_window_is_a_pass():
+    enforcer = WindowEnforcer()
+    ack = ack_with_window(1 << 15, 0)
+    assert not enforcer.enforce(ack, 1 << 15, 0)
+
+
+def test_enforce_respects_window_scale():
+    enforcer = WindowEnforcer()
+    ack = ack_with_window(1 << 22, 9)
+    enforcer.enforce(ack, 100_000, 9)
+    # Encoded field must decode (at scale 9) to >= requested window.
+    assert 100_000 <= ack.advertised_window(9) < 100_000 + (1 << 9)
+
+
+def test_make_window_update():
+    pkt = WindowEnforcer.make_window_update(("b", 2, "a", 1), 5000, 30_000, 4)
+    assert pkt.src == "b" and pkt.dst == "a"
+    assert pkt.ack and pkt.ack_seq == 5000
+    assert pkt.payload_len == 0
+    assert pkt.advertised_window(4) >= 30_000
+
+
+def test_make_dupack_mirrors_window_update_shape():
+    pkt = WindowEnforcer.make_dupack(("b", 2, "a", 1), 7000, 10_000, 4)
+    assert pkt.ack_seq == 7000 and pkt.payload_len == 0
+
+
+# ---------------------------------------------------------------------------
+# Policer
+# ---------------------------------------------------------------------------
+def data(seq, length, mss=1460):
+    return Packet(src="a", dst="b", sport=1, dport=2, seq=seq,
+                  payload_len=length)
+
+
+def test_policer_allows_within_window():
+    policer = Policer(slack_segments=0)
+    assert policer.allow(data(0, 1000), snd_una=0, window_bytes=2000, mss=1460)
+    assert policer.drops == 0
+
+
+def test_policer_drops_beyond_window():
+    policer = Policer(slack_segments=0)
+    assert not policer.allow(data(5000, 1460), snd_una=0, window_bytes=2000,
+                             mss=1460)
+    assert policer.drops == 1
+
+
+def test_policer_slack_absorbs_boundary():
+    policer = Policer(slack_segments=2)
+    # 2 MSS beyond the window: allowed by slack.
+    pkt = data(2000, 1460)
+    assert policer.allow(pkt, snd_una=0, window_bytes=2000, mss=1460)
+
+
+def test_policer_exact_edge():
+    policer = Policer(slack_segments=0)
+    assert policer.allow(data(0, 2000), snd_una=0, window_bytes=2000, mss=1460)
+    assert not policer.allow(data(1, 2000), snd_una=0, window_bytes=2000,
+                             mss=1460)
+
+
+def test_policer_negative_slack_rejected():
+    with pytest.raises(ValueError):
+        Policer(slack_segments=-1)

@@ -1,0 +1,84 @@
+"""Unit tests for the PACK/FACK feedback channel (§3.2)."""
+
+from repro.core.feedback import FeedbackReader, ReceiverFeedback
+from repro.net.packet import ECN_CE, ECN_ECT0, PACK_OPTION, Packet, PackOption
+
+
+def data(length=1000, ce=False):
+    return Packet(src="a", dst="b", sport=1, dport=2, payload_len=length,
+                  ecn=ECN_CE if ce else ECN_ECT0)
+
+
+def ack(payload=0):
+    return Packet(src="b", dst="a", sport=2, dport=1, ack=True,
+                  payload_len=payload)
+
+
+def test_counters_accumulate():
+    fb = ReceiverFeedback()
+    fb.on_data(data(1000))
+    fb.on_data(data(500, ce=True))
+    fb.on_data(data(200, ce=True))
+    assert fb.total_bytes == 1700
+    assert fb.marked_bytes == 700
+
+
+def test_attach_pack_snapshot():
+    fb = ReceiverFeedback()
+    fb.on_data(data(1000, ce=True))
+    a = ack()
+    fb.attach_pack(a)
+    assert a.pack == PackOption(total_bytes=1000, marked_bytes=1000)
+    assert fb.packs_attached == 1
+
+
+def test_can_piggyback_respects_mtu():
+    fb = ReceiverFeedback()
+    small = ack()
+    assert fb.can_piggyback(small, mtu=1500)
+    # An ACK already carrying a near-MTU payload cannot take the option.
+    big = ack(payload=1500 - 40 - PACK_OPTION + 1)
+    assert not fb.can_piggyback(big, mtu=1500)
+
+
+def test_fack_mirrors_flow_and_is_flagged():
+    fb = ReceiverFeedback()
+    fb.on_data(data(800, ce=True))
+    a = ack()
+    a.ack_seq = 12345
+    fack = fb.make_fack(a)
+    assert fack.is_fack
+    assert fack.src == "b" and fack.dst == "a"
+    assert fack.ack_seq == 12345
+    assert fack.pack.total_bytes == 800
+    assert fb.facks_created == 1
+
+
+# ---------------------------------------------------------------------------
+# Sender-side reader
+# ---------------------------------------------------------------------------
+def test_reader_computes_deltas():
+    reader = FeedbackReader()
+    assert reader.consume(PackOption(1000, 200)) == (1000, 200)
+    assert reader.consume(PackOption(3000, 200)) == (2000, 0)
+    assert reader.consume(PackOption(4000, 700)) == (1000, 500)
+
+
+def test_reader_none_is_zero():
+    reader = FeedbackReader()
+    assert reader.consume(None) == (0, 0)
+
+
+def test_reader_ignores_stale_reports():
+    """Reordered feedback (older cumulative totals) must not double count."""
+    reader = FeedbackReader()
+    reader.consume(PackOption(5000, 1000))
+    assert reader.consume(PackOption(3000, 500)) == (0, 0)
+    # Forward progress resumes from the high-water mark.
+    assert reader.consume(PackOption(6000, 1200)) == (1000, 200)
+
+
+def test_reader_duplicate_report_is_zero_delta():
+    reader = FeedbackReader()
+    reader.consume(PackOption(5000, 1000))
+    assert reader.consume(PackOption(5000, 1000)) == (0, 0)

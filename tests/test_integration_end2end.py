@@ -1,0 +1,89 @@
+"""End-to-end integration tests reproducing the paper's headline claims
+at test-friendly scale (short runs, small topologies).
+"""
+
+import pytest
+
+from repro.core import AcdcConfig
+from repro.experiments.common import ACDC, CUBIC, DCTCP
+from repro.experiments.runners import run_dumbbell, run_incast
+from repro.metrics import percentile
+
+
+pytestmark = pytest.mark.slow
+
+
+def test_dctcp_keeps_rtt_an_order_of_magnitude_below_cubic():
+    cubic = run_dumbbell(CUBIC, pairs=3, duration=0.3, mtu=9000)
+    dctcp = run_dumbbell(DCTCP, pairs=3, duration=0.3, mtu=9000)
+    assert percentile(cubic.rtt_samples, 50) > \
+        8 * percentile(dctcp.rtt_samples, 50)
+
+
+def test_acdc_tracks_dctcp_rtt_and_throughput():
+    dctcp = run_dumbbell(DCTCP, pairs=3, duration=0.3, mtu=9000)
+    acdc = run_dumbbell(ACDC, pairs=3, duration=0.3, mtu=9000)
+    assert acdc.avg_tput_bps == pytest.approx(dctcp.avg_tput_bps, rel=0.05)
+    p50_d = percentile(dctcp.rtt_samples, 50)
+    p50_a = percentile(acdc.rtt_samples, 50)
+    assert p50_a < 2 * p50_d
+    assert acdc.fairness > 0.98
+
+
+def test_acdc_works_for_every_guest_stack():
+    """The Table 1 claim, in miniature."""
+    reference = run_dumbbell(ACDC, pairs=3, duration=0.25, mtu=9000)
+    for guest in ("reno", "vegas", "illinois", "highspeed", "dctcp"):
+        result = run_dumbbell(ACDC.with_host_cc(guest), pairs=3,
+                              duration=0.25, mtu=9000)
+        assert result.fairness > 0.95, guest
+        assert result.avg_tput_bps == pytest.approx(
+            reference.avg_tput_bps, rel=0.1), guest
+
+
+def test_acdc_utilisation_matches_line_rate():
+    result = run_dumbbell(ACDC, pairs=3, duration=0.3, mtu=9000,
+                          rtt_probe=False)
+    assert sum(result.tputs_bps) > 9e9
+
+
+def test_acdc_zero_drops_on_dumbbell():
+    result = run_dumbbell(ACDC, pairs=3, duration=0.3, mtu=9000,
+                          rtt_probe=False)
+    assert result.drop_rate == 0.0
+
+
+def test_heterogeneous_stacks_fair_under_acdc():
+    """The Fig. 17 claim: five different stacks, one fabric, fair."""
+    mixed = run_dumbbell(
+        ACDC, pairs=5, duration=0.4, mtu=9000, rtt_probe=False,
+        host_ccs=["cubic", "illinois", "highspeed", "reno", "vegas"])
+    assert mixed.fairness > 0.97
+
+
+def test_heterogeneous_stacks_unfair_without_acdc():
+    """The Fig. 1 problem statement."""
+    mixed = run_dumbbell(
+        CUBIC, pairs=5, duration=0.4, mtu=9000, rtt_probe=False,
+        host_ccs=["cubic", "illinois", "highspeed", "reno", "vegas"])
+    assert mixed.fairness < 0.9
+
+
+def test_incast_acdc_floor_beats_dctcp_floor():
+    """The Fig. 19 effect: AC/DC's byte-granular window floor keeps the
+    standing queue (and so the RTT) below native DCTCP's 2-MSS floor."""
+    dctcp = run_incast(DCTCP, n_senders=24, duration=0.25, mtu=9000)
+    acdc = run_incast(ACDC, n_senders=24, duration=0.25, mtu=9000)
+    assert percentile(acdc.rtt_samples, 50) < percentile(dctcp.rtt_samples, 50)
+    assert acdc.fairness > 0.99
+    assert acdc.drop_rate == 0.0
+
+
+def test_incast_floor_knob_controls_rtt():
+    """Raising AC/DC's floor to 2 MSS reproduces DCTCP's standing queue."""
+    mss = 8960
+    low = run_incast(ACDC, n_senders=24, duration=0.25, mtu=9000,
+                     acdc_config=AcdcConfig(min_wnd_bytes=mss))
+    high = run_incast(ACDC, n_senders=24, duration=0.25, mtu=9000,
+                      acdc_config=AcdcConfig(min_wnd_bytes=2 * mss))
+    assert percentile(low.rtt_samples, 50) < percentile(high.rtt_samples, 50)

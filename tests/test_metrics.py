@@ -1,0 +1,135 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    Ewma,
+    cdf_points,
+    jain_index,
+    moving_average,
+    percentile,
+    summarize,
+)
+
+
+def test_percentile_basic():
+    data = [1, 2, 3, 4, 5]
+    assert percentile(data, 0) == 1
+    assert percentile(data, 50) == 3
+    assert percentile(data, 100) == 5
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+
+def test_percentile_unsorted_input():
+    assert percentile([5, 1, 3], 50) == 3
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 99.9) == 7.0
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=100),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_within_sample_bounds(samples, p):
+    value = percentile(samples, p)
+    assert min(samples) <= value <= max(samples)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2,
+                max_size=50))
+def test_percentile_monotone_in_p(samples):
+    values = [percentile(samples, p) for p in (10, 50, 90, 99)]
+    tolerance = 1e-6 * (max(samples) + 1.0)  # FP interpolation noise
+    for a, b in zip(values, values[1:]):
+        assert b >= a - tolerance
+
+
+def test_cdf_points():
+    points = cdf_points([3, 1, 2])
+    assert points == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+    assert cdf_points([]) == []
+
+
+def test_jain_index_uniform_is_one():
+    assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_jain_index_single_hog():
+    # One of N flows gets everything: index = 1/N.
+    assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+
+def test_jain_index_bounds():
+    assert 0 < jain_index([1, 2, 3, 4]) <= 1.0
+
+
+def test_jain_index_rejects_negative():
+    with pytest.raises(ValueError):
+        jain_index([-1, 2])
+
+
+def test_jain_index_all_zero():
+    assert jain_index([0, 0]) == 1.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1,
+                max_size=50))
+def test_jain_index_always_in_range(values):
+    index = jain_index(values)
+    assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+def test_summarize_fields():
+    s = summarize([1, 2, 3, 4, 5])
+    assert s["count"] == 5
+    assert s["min"] == 1 and s["max"] == 5
+    assert s["mean"] == 3
+    assert s["p50"] == 3
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_ewma_convergence():
+    ewma = Ewma(gain=0.5, initial=0.0)
+    for _ in range(20):
+        ewma.update(10.0)
+    assert ewma.value == pytest.approx(10.0, abs=0.01)
+
+
+def test_ewma_gain_validation():
+    with pytest.raises(ValueError):
+        Ewma(gain=0.0)
+    with pytest.raises(ValueError):
+        Ewma(gain=1.5)
+
+
+def test_moving_average_window():
+    series = [(0.0, 0.0), (0.05, 10.0), (0.10, 20.0), (0.5, 100.0)]
+    out = moving_average(series, window_s=0.1)
+    assert out[0] == (0.0, 0.0)
+    assert out[2][1] == pytest.approx((0.0 + 10 + 20) / 3)
+    # Far-away point: window has slid past the early samples.
+    assert out[3][1] == pytest.approx(100.0)
+
+
+def test_moving_average_bad_window():
+    with pytest.raises(ValueError):
+        moving_average([(0, 1)], window_s=0)

@@ -1,0 +1,124 @@
+"""Unit tests for the packet/header model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import (
+    ECN_CE,
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    IP_HEADER,
+    PACK_OPTION,
+    TCP_HEADER,
+    WSCALE_OPTION,
+    Packet,
+    PackOption,
+    make_ack_packet,
+    make_data_packet,
+    mss_for_mtu,
+)
+
+
+def pkt(**kw):
+    defaults = dict(src="a", dst="b", sport=1, dport=2)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_mss_for_mtu():
+    assert mss_for_mtu(1500) == 1460
+    assert mss_for_mtu(9000) == 8960
+
+
+def test_base_size_is_headers_only():
+    assert pkt().size == IP_HEADER + TCP_HEADER
+
+
+def test_size_includes_payload_and_options():
+    p = pkt(payload_len=1000, wscale=9, pack=PackOption(10, 5))
+    assert p.size == IP_HEADER + TCP_HEADER + WSCALE_OPTION + PACK_OPTION + 1000
+
+
+def test_size_includes_sack_blocks():
+    p = pkt(sack_blocks=((10, 20), (30, 40)))
+    assert p.size == IP_HEADER + TCP_HEADER + 2 + 8 * 2
+
+
+def test_end_seq():
+    assert pkt(seq=100, payload_len=50).end_seq == 150
+
+
+def test_flow_keys_are_mirrors():
+    p = pkt(src="a", sport=1, dst="b", dport=2)
+    assert p.flow_key() == ("a", 1, "b", 2)
+    assert p.reverse_key() == ("b", 2, "a", 1)
+
+
+def test_ecn_helpers():
+    assert not pkt(ecn=ECN_NOT_ECT).ect
+    assert pkt(ecn=ECN_ECT0).ect
+    assert pkt(ecn=ECN_CE).ect
+    assert pkt(ecn=ECN_CE).ce
+    assert not pkt(ecn=ECN_ECT0).ce
+
+
+def test_advertised_window_scaling():
+    p = pkt(rwnd_field=100)
+    assert p.advertised_window(0) == 100
+    assert p.advertised_window(9) == 100 << 9
+
+
+def test_set_advertised_window_rounds_up():
+    p = pkt()
+    p.set_advertised_window(1000, 9)
+    # 1000/512 = 1.95 -> field 2 -> 1024 bytes: never smaller than asked.
+    assert p.rwnd_field == 2
+    assert p.advertised_window(9) >= 1000
+
+
+def test_set_advertised_window_clamps_to_16_bits():
+    p = pkt()
+    p.set_advertised_window(1 << 40, 4)
+    assert p.rwnd_field == 0xFFFF
+
+
+def test_set_advertised_window_rejects_negative():
+    with pytest.raises(ValueError):
+        pkt().set_advertised_window(-1, 0)
+
+
+def test_zero_window_encodable():
+    p = pkt()
+    p.set_advertised_window(0, 9)
+    assert p.rwnd_field == 0
+    assert p.advertised_window(9) == 0
+
+
+@given(window=st.integers(min_value=0, max_value=1 << 24),
+       wscale=st.integers(min_value=0, max_value=14))
+def test_window_encoding_never_shrinks_and_bounded_error(window, wscale):
+    """Round-tripping a window may round up by < one scale unit (until the
+    16-bit field saturates), and must never round down."""
+    p = Packet(src="a", dst="b", sport=1, dport=2)
+    p.set_advertised_window(window, wscale)
+    decoded = p.advertised_window(wscale)
+    if p.rwnd_field < 0xFFFF:
+        assert window <= decoded < window + (1 << wscale)
+    else:
+        assert decoded <= window or decoded == 0xFFFF << wscale
+
+
+def test_packet_ids_unique():
+    assert pkt().pid != pkt().pid
+
+
+def test_make_data_packet():
+    p = make_data_packet(("a", 1, "b", 2), seq=500, payload_len=100)
+    assert p.flow_key() == ("a", 1, "b", 2)
+    assert p.seq == 500 and p.payload_len == 100 and p.ack
+
+
+def test_make_ack_packet_travels_reverse():
+    p = make_ack_packet(("a", 1, "b", 2), ack_seq=600)
+    assert p.src == "b" and p.dst == "a"
+    assert p.ack_seq == 600 and p.payload_len == 0

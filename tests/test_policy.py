@@ -1,0 +1,63 @@
+"""Unit tests for per-flow policy assignment (§3.4)."""
+
+import pytest
+
+from repro.core.policy import FlowPolicy, PolicyEngine
+
+
+def test_default_policy_is_enforced_dctcp():
+    policy = FlowPolicy()
+    assert policy.algorithm == "dctcp"
+    assert policy.enforced
+    assert policy.beta == 1.0
+
+
+def test_none_policy_is_passthrough():
+    assert not FlowPolicy(algorithm="none").enforced
+
+
+def test_invalid_algorithm_rejected():
+    with pytest.raises(ValueError):
+        FlowPolicy(algorithm="bbr")
+
+
+def test_invalid_beta_rejected():
+    with pytest.raises(ValueError):
+        FlowPolicy(beta=2.0)
+
+
+def test_invalid_max_rwnd_rejected():
+    with pytest.raises(ValueError):
+        FlowPolicy(max_rwnd=0)
+
+
+def test_engine_default_fallback():
+    engine = PolicyEngine()
+    assert engine.policy_for(("a", 1, "b", 2)).algorithm == "dctcp"
+
+
+def test_engine_first_match_wins():
+    engine = PolicyEngine()
+    engine.add_rule(PolicyEngine.match_dst("b"), FlowPolicy(beta=0.25))
+    engine.add_rule(PolicyEngine.match_src("a"), FlowPolicy(beta=0.75))
+    assert engine.policy_for(("a", 1, "b", 2)).beta == 0.25
+    assert engine.policy_for(("a", 1, "c", 2)).beta == 0.75
+
+
+def test_match_helpers():
+    assert PolicyEngine.match_dst("b")(("a", 1, "b", 2))
+    assert not PolicyEngine.match_dst("b")(("a", 1, "c", 2))
+    assert PolicyEngine.match_src("a")(("a", 1, "b", 2))
+    assert PolicyEngine.match_dport(2)(("a", 1, "b", 2))
+    assert PolicyEngine.match_dst_prefix("wan-")(("a", 1, "wan-gw", 2))
+    assert not PolicyEngine.match_dst_prefix("wan-")(("a", 1, "dc-h1", 2))
+
+
+def test_wan_vs_datacenter_split():
+    """The paper's §3.4 example: WAN flows keep the host stack, DC flows
+    get DCTCP enforcement."""
+    engine = PolicyEngine(default=FlowPolicy(algorithm="dctcp"))
+    engine.add_rule(PolicyEngine.match_dst_prefix("wan-"),
+                    FlowPolicy(algorithm="none"))
+    assert not engine.policy_for(("h1", 5, "wan-peer", 80)).enforced
+    assert engine.policy_for(("h1", 5, "h2", 80)).enforced

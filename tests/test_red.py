@@ -1,0 +1,82 @@
+"""Unit tests for the WRED/ECN marking profile."""
+
+import pytest
+
+from repro.net.packet import ECN_CE, ECN_ECT0, ECN_NOT_ECT, Packet
+from repro.net.red import EcnMarker
+
+
+def data_pkt(ecn):
+    return Packet(src="a", dst="b", sport=1, dport=2, payload_len=100, ecn=ecn)
+
+
+def test_below_threshold_untouched():
+    marker = EcnMarker(threshold_bytes=1000)
+    for ecn in (ECN_NOT_ECT, ECN_ECT0):
+        p = data_pkt(ecn)
+        decision = marker.decide(p, 999)
+        assert not decision.drop and not decision.marked
+        assert p.ecn == ecn
+
+
+def test_ect_marked_at_threshold():
+    marker = EcnMarker(threshold_bytes=1000)
+    p = data_pkt(ECN_ECT0)
+    decision = marker.decide(p, 1000)
+    assert decision.marked and not decision.drop
+    assert p.ecn == ECN_CE
+    assert marker.marked_packets == 1
+
+
+def test_ce_stays_ce():
+    marker = EcnMarker(threshold_bytes=1000)
+    p = data_pkt(ECN_CE)
+    decision = marker.decide(p, 5000)
+    assert decision.marked and p.ecn == ECN_CE
+
+
+def test_nonect_dropped_above_ramp_top():
+    marker = EcnMarker(threshold_bytes=1000, ramp_factor=1.25)
+    p = data_pkt(ECN_NOT_ECT)
+    decision = marker.decide(p, 1250)  # at/above ramp top: p = 1
+    assert decision.drop
+    assert marker.dropped_packets == 1
+
+
+def test_nonect_drop_probability_ramps():
+    marker = EcnMarker(threshold_bytes=1000, ramp_factor=2.0)
+    assert marker._nonect_drop_probability(999) == 0.0
+    assert marker._nonect_drop_probability(1000) == 0.0
+    assert marker._nonect_drop_probability(1500) == pytest.approx(0.5)
+    assert marker._nonect_drop_probability(2000) == 1.0
+    assert marker._nonect_drop_probability(9999) == 1.0
+
+
+def test_nonect_drops_are_statistical_on_the_ramp():
+    marker = EcnMarker(threshold_bytes=1000, ramp_factor=2.0, seed=1)
+    outcomes = [marker.decide(data_pkt(ECN_NOT_ECT), 1500).drop
+                for _ in range(2000)]
+    rate = sum(outcomes) / len(outcomes)
+    assert 0.45 <= rate <= 0.55
+
+
+def test_disabled_marker_never_touches():
+    marker = EcnMarker(enabled=False, threshold_bytes=100)
+    p = data_pkt(ECN_NOT_ECT)
+    decision = marker.decide(p, 10_000_000)
+    assert not decision.drop and not decision.marked
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        EcnMarker(threshold_bytes=0)
+    with pytest.raises(ValueError):
+        EcnMarker(ramp_factor=0.5)
+
+
+def test_deterministic_for_seed():
+    a = EcnMarker(threshold_bytes=1000, ramp_factor=2.0, seed=9)
+    b = EcnMarker(threshold_bytes=1000, ramp_factor=2.0, seed=9)
+    oa = [a.decide(data_pkt(ECN_NOT_ECT), 1400).drop for _ in range(50)]
+    ob = [b.decide(data_pkt(ECN_NOT_ECT), 1400).drop for _ in range(50)]
+    assert oa == ob

@@ -1,0 +1,43 @@
+"""Unit tests for the text reporting helpers."""
+
+from repro.experiments.report import format_cdf, format_series, format_table
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(["name", "value"], [["a", 1.23456], ["bbbb", 2]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.235" in text   # floats at 3 decimals
+    assert "bbbb" in text
+
+
+def test_format_table_handles_empty_rows():
+    text = format_table(["a"], [])
+    assert "a" in text
+
+
+def test_format_cdf_quantiles():
+    text = format_cdf([1.0, 2.0, 3.0, 4.0], "lat", unit="ms")
+    assert text.startswith("lat (n=4):")
+    assert "p50=" in text and "p99.9=" in text
+    assert "ms" in text
+
+
+def test_format_cdf_empty():
+    assert "(no samples)" in format_cdf([], "lat")
+
+
+def test_format_cdf_scaling():
+    text = format_cdf([0.001], "x", unit="ms", scale=1e3,
+                      points=(0.5,))
+    assert "p50=1.000ms" in text
+
+
+def test_format_series_downsampling():
+    series = [(i * 0.1, float(i)) for i in range(10)]
+    text = format_series(series, "s", every=5)
+    assert text.startswith("s: ")
+    assert text.count(":") == 1 + 2  # label colon + 2 sampled points

@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+    assert sim.events_processed == 0
+
+
+def test_schedule_relative_and_absolute(sim):
+    fired = []
+    sim.schedule(1.5, fired.append, "rel")
+    sim.schedule_at(1.0, fired.append, "abs")
+    sim.run()
+    assert fired == ["abs", "rel"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    for delay in (0.3, 0.1, 0.2):
+        sim.schedule(delay, order.append, delay)
+    sim.run()
+    assert order == [0.1, 0.2, 0.3]
+
+
+def test_same_time_events_fire_in_insertion_order(sim):
+    order = []
+    for tag in "abcde":
+        sim.schedule_at(1.0, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_is_inclusive(sim):
+    fired = []
+    sim.schedule_at(2.0, fired.append, "edge")
+    sim.schedule_at(2.0001, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+    assert sim.now == 2.0
+
+
+def test_run_until_advances_clock_even_if_queue_drains(sim):
+    sim.schedule(0.5, lambda: None)
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_late_event_survives_run_until(sim):
+    fired = []
+    sim.schedule_at(5.0, fired.append, "later")
+    sim.run(until=1.0)
+    assert fired == []
+    sim.run()
+    assert fired == ["later"]
+
+
+def test_cancellation(sim):
+    fired = []
+    keep = sim.schedule(1.0, fired.append, "keep")
+    drop = sim.schedule(1.0, fired.append, "drop")
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert drop.cancelled
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(0.1, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_max_events_limits_execution(sim):
+    for i in range(10):
+        sim.schedule(i * 0.1, lambda: None)
+    sim.run(max_events=4)
+    assert sim.events_processed == 4
+    assert sim.pending() == 6
+
+
+def test_step_runs_one_event(sim):
+    fired = []
+    sim.schedule(0.1, fired.append, 1)
+    sim.schedule(0.2, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_peek_time_skips_cancelled(sim):
+    first = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == pytest.approx(0.2)
+
+
+def test_peek_time_empty(sim):
+    assert sim.peek_time() is None
+
+
+def test_clear_drops_everything(sim):
+    for i in range(5):
+        sim.schedule(i + 1.0, lambda: None)
+    sim.clear()
+    assert sim.pending() == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_run_is_not_reentrant(sim):
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(0.1, nested)
+    sim.run()
+
+
+def test_determinism_across_instances():
+    def build(s):
+        log = []
+        for i in range(100):
+            s.schedule((i * 37 % 11) * 0.01, log.append, i)
+        return log
+
+    a, b = Simulator(), Simulator()
+    la, lb = build(a), build(b)
+    a.run()
+    b.run()
+    assert la == lb

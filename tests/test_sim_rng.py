@@ -1,0 +1,40 @@
+"""Unit tests for the seeded RNG factory."""
+
+from repro.sim import RngFactory
+
+
+def test_same_name_same_stream():
+    a = RngFactory(seed=42).stream("incast")
+    b = RngFactory(seed=42).stream("incast")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_differ():
+    factory = RngFactory(seed=42)
+    a = factory.stream("alpha")
+    b = factory.stream("beta")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RngFactory(seed=1).stream("x")
+    b = RngFactory(seed=2).stream("x")
+    assert a.random() != b.random()
+
+
+def test_streams_are_independent():
+    """Drawing from one stream must not perturb another."""
+    factory = RngFactory(seed=7)
+    fresh = RngFactory(seed=7).stream("b")
+    baseline = [fresh.random() for _ in range(3)]
+    a = factory.stream("a")
+    for _ in range(100):
+        a.random()
+    b = factory.stream("b")
+    assert [b.random() for _ in range(3)] == baseline
+
+
+def test_jitter_bounds():
+    values = RngFactory(seed=3).jitter("j", 1000, 0.5, 1.5)
+    assert len(values) == 1000
+    assert all(0.5 <= v < 1.5 for v in values)

@@ -1,0 +1,74 @@
+"""Unit tests for the output-queued switch."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+
+
+def pkt(dst="b", payload=960):
+    return Packet(src="a", dst=dst, sport=1, dport=2, payload_len=payload)
+
+
+def test_forwarding_by_fib(sim, trap):
+    sw = Switch(sim, "sw", ecn_enabled=False)
+    port = sw.add_port(1e9, 0.0, peer=trap)
+    sw.set_route("b", port)
+    sw.receive(pkt("b"))
+    sim.run()
+    assert len(trap.packets) == 1
+    assert sw.rx_packets == 1
+
+
+def test_no_route_drops_and_counts(sim, trap):
+    sw = Switch(sim, "sw", ecn_enabled=False)
+    sw.add_port(1e9, 0.0, peer=trap)
+    sw.receive(pkt("unknown"))
+    sim.run()
+    assert not trap.packets
+    assert sw.no_route_drops == 1
+
+
+def test_set_route_unknown_port_raises(sim):
+    sw = Switch(sim, "sw")
+    with pytest.raises(KeyError):
+        sw.set_route("b", 99)
+
+
+def test_ports_share_one_buffer(sim, trap):
+    """Filling one port's queue shrinks what another port may hold."""
+    sw = Switch(sim, "sw", buffer_bytes=10_000, dt_alpha=1.0,
+                ecn_enabled=False)
+    slow_a = sw.add_port(8e3, 0.0, peer=trap)
+    slow_b = sw.add_port(8e3, 0.0, peer=trap)
+    sw.set_route("a_side", slow_a)
+    sw.set_route("b_side", slow_b)
+    for _ in range(10):
+        sw.receive(pkt("a_side"))
+    used_after_a = sw.shared.used
+    for _ in range(10):
+        sw.receive(pkt("b_side"))
+    assert sw.shared.queue_bytes(slow_b) < used_after_a
+
+
+def test_drop_counters_aggregate(sim, trap):
+    sw = Switch(sim, "sw", buffer_bytes=2_500, dt_alpha=10.0,
+                ecn_enabled=False)
+    port = sw.add_port(8e3, 0.0, peer=trap)
+    sw.set_route("b", port)
+    for _ in range(5):
+        sw.receive(pkt("b"))
+    assert sw.total_drops() == 3
+    sim.run()
+    assert sw.total_tx_packets() == 2
+    assert sw.drop_rate() == pytest.approx(3 / 5)
+
+
+def test_connect_port_later(sim, trap):
+    sw = Switch(sim, "sw", ecn_enabled=False)
+    port = sw.add_port(1e9, 0.0)
+    sw.connect_port(port, trap)
+    sw.set_route("b", port)
+    sw.receive(pkt("b"))
+    sim.run()
+    assert trap.packets

@@ -1,0 +1,113 @@
+"""Guest TCP: handshake, window-scale and ECN negotiation."""
+
+import pytest
+
+from conftest import FaultInjector
+from repro.tcp.connection import ESTABLISHED, SYN_SENT
+
+
+def open_pair(sim, a, b, client_opts=None, server_opts=None):
+    established = []
+    b.listen(7000, on_accept=lambda c: established.append(c),
+             **(server_opts or {}))
+    conn = a.connect(b.addr, 7000, **(client_opts or {}))
+    return conn, established
+
+
+def test_three_way_handshake(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, accepted = open_pair(sim, a, b)
+    assert conn.state == SYN_SENT
+    sim.run(until=0.01)
+    assert conn.state == ESTABLISHED
+    assert len(accepted) == 1
+    assert accepted[0].state == ESTABLISHED
+    assert conn.established_at is not None
+
+
+def test_established_callback_fires(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, _ = open_pair(sim, a, b)
+    called = []
+    conn.on_established = lambda: called.append(sim.now)
+    sim.run(until=0.01)
+    assert len(called) == 1
+
+
+def test_window_scale_negotiated_both_ways(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, accepted = open_pair(sim, a, b,
+                               client_opts={"wscale": 7},
+                               server_opts={"wscale": 5})
+    sim.run(until=0.01)
+    assert conn.peer_wscale == 5
+    assert accepted[0].peer_wscale == 7
+
+
+def test_peer_rwnd_reflects_scaled_window(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, accepted = open_pair(
+        sim, a, b, server_opts={"rcv_buf": 1 << 20, "wscale": 9})
+    sim.run(until=0.01)
+    assert conn.peer_rwnd >= 1 << 20
+
+
+def test_ecn_negotiated_when_both_sides_ask(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, accepted = open_pair(sim, a, b, {"ecn": True}, {"ecn": True})
+    sim.run(until=0.01)
+    assert conn.ecn_ok and accepted[0].ecn_ok
+
+
+@pytest.mark.parametrize("client_ecn,server_ecn", [
+    (True, False), (False, True), (False, False)])
+def test_ecn_not_negotiated_otherwise(two_hosts, client_ecn, server_ecn):
+    sim, topo, a, b, _sw = two_hosts
+    conn, accepted = open_pair(sim, a, b,
+                               {"ecn": client_ecn}, {"ecn": server_ecn})
+    sim.run(until=0.01)
+    assert not conn.ecn_ok
+    assert not accepted[0].ecn_ok
+
+
+def test_handshake_seeds_rtt_estimate(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, _ = open_pair(sim, a, b)
+    sim.run(until=0.01)
+    assert conn.srtt is not None
+    assert 0 < conn.srtt < 0.001
+
+
+def test_syn_retransmitted_on_loss(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    # Drop the first SYN in the client's own datapath.
+    injector = FaultInjector(drop_egress=lambda p, i: p.syn and i == 0)
+    a.attach_vswitch(injector)
+    conn, _ = open_pair(sim, a, b)
+    sim.run(until=1.0)
+    assert conn.state == ESTABLISHED
+    assert conn.timeouts >= 1
+
+
+def test_syn_to_closed_port_goes_nowhere(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn = a.connect(b.addr, 9999)  # nothing listens there
+    sim.run(until=0.3)
+    assert conn.state == SYN_SENT
+
+
+def test_connect_twice_raises(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, _ = open_pair(sim, a, b)
+    sim.run(until=0.01)
+    with pytest.raises(RuntimeError):
+        conn.connect()
+
+
+def test_ephemeral_ports_unique(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    b.listen(7000)
+    c1 = a.connect(b.addr, 7000)
+    c2 = a.connect(b.addr, 7000)
+    assert c1.lport != c2.lport
+    assert c1.key() != c2.key()

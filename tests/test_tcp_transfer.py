@@ -1,0 +1,171 @@
+"""Guest TCP: end-to-end data transfer, delivery, teardown."""
+
+import pytest
+
+from repro.tcp.connection import CLOSED, ESTABLISHED
+from repro.workloads.apps import BulkSender, Sink
+
+
+def open_stream(sim, a, b, opts=None):
+    """Connect a->b:7000 with a byte-counting sink; returns (conn, sink)."""
+    opts = opts or {}
+    sink = Sink(b, 7000, **opts)
+    conn = a.connect(b.addr, 7000, **opts)
+    return conn, sink
+
+
+def test_small_transfer_delivers_exactly(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, sink = open_stream(sim, a, b)
+    conn.send(5000)
+    sim.run(until=0.05)
+    assert sink.bytes_received == 5000
+    assert conn.snd_una == conn.snd_nxt  # everything acked
+
+
+def test_multi_segment_transfer(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, sink = open_stream(sim, a, b)
+    conn.send(1_000_000)
+    sim.run(until=0.2)
+    assert sink.bytes_received == 1_000_000
+    assert conn.bytes_acked_total == 1_000_000
+
+
+def test_multiple_writes_accumulate(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, sink = open_stream(sim, a, b)
+    for _ in range(10):
+        conn.send(1234)
+    sim.run(until=0.05)
+    assert sink.bytes_received == 12340
+
+
+def test_send_before_establish_is_queued(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, sink = open_stream(sim, a, b)
+    conn.send(10_000)  # state is still SYN_SENT
+    sim.run(until=0.05)
+    assert sink.bytes_received == 10_000
+
+
+def test_send_negative_rejected(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, _ = open_stream(sim, a, b)
+    with pytest.raises(ValueError):
+        conn.send(-1)
+
+
+def test_unlimited_source_saturates_link(two_hosts_jumbo):
+    sim, topo, a, b, _sw = two_hosts_jumbo
+    conn, sink = open_stream(sim, a, b)
+    conn.send_forever()
+    sim.run(until=0.1)
+    goodput = sink.bytes_received * 8 / 0.1
+    assert goodput > 8e9  # close to the 10 G line rate
+
+
+def test_on_data_callback_counts_in_order_bytes(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    delivered = []
+    Sink(b, 7000)
+    server_conns = []
+    b.listeners[7000]["on_accept"] = lambda c: server_conns.append(c)
+    conn = a.connect(b.addr, 7000)
+    sim.run(until=0.005)
+    server_conns[0].on_data = delivered.append
+    conn.send(50_000)
+    sim.run(until=0.05)
+    assert sum(delivered) == 50_000
+
+
+def test_fin_teardown_both_sides(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    accepted = []
+    b.listen(7000, on_accept=lambda c: accepted.append(c))
+    conn = a.connect(b.addr, 7000)
+    conn.send(10_000)
+    conn.close()
+    sim.run(until=0.2)
+    assert conn.state == CLOSED
+    assert accepted[0].state == CLOSED
+    assert conn.closed_at is not None
+    assert accepted[0].bytes_delivered == 10_000
+
+
+def test_close_flushes_pending_data_first(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, sink = open_stream(sim, a, b)
+    conn.send(200_000)
+    conn.close()
+    sim.run(until=0.2)
+    assert sink.bytes_received == 200_000
+    assert conn.state == CLOSED
+
+
+def test_on_close_callback(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    conn, _ = open_stream(sim, a, b)
+    closed = []
+    conn.on_close = lambda: closed.append(sim.now)
+    conn.send(1000)
+    conn.close()
+    sim.run(until=0.2)
+    assert len(closed) == 1
+
+
+def test_bidirectional_transfer(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    accepted = []
+    b.listen(7000, on_accept=lambda c: accepted.append(c))
+    conn = a.connect(b.addr, 7000)
+    got_at_a = []
+    conn.on_data = got_at_a.append
+    conn.send(30_000)
+    sim.run(until=0.01)
+    accepted[0].send(20_000)
+    sim.run(until=0.1)
+    assert accepted[0].bytes_delivered == 30_000
+    assert sum(got_at_a) == 20_000
+
+
+def test_two_parallel_connections_demuxed(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    sink = Sink(b, 7000)
+    c1 = a.connect(b.addr, 7000)
+    c2 = a.connect(b.addr, 7000)
+    c1.send(1000)
+    c2.send(2000)
+    sim.run(until=0.05)
+    assert sink.bytes_received == 3000
+    assert c1.bytes_acked_total == 1000
+    assert c2.bytes_acked_total == 2000
+
+
+def test_bulk_sender_fixed_size_closes(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    Sink(b, 7000)
+    flow = BulkSender(sim, a, b.addr, 7000, size_bytes=64_000)
+    sim.run(until=0.2)
+    assert flow.bytes_acked == 64_000
+    assert flow.conn.state == CLOSED
+
+
+def test_bulk_sender_stop_at(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    Sink(b, 7000)
+    flow = BulkSender(sim, a, b.addr, 7000, stop_at=0.02)
+    sim.run(until=0.2)
+    assert flow.conn.state == CLOSED
+    assert flow.bytes_acked > 0
+
+
+def test_bulk_sender_send_at_defers_data(two_hosts):
+    sim, topo, a, b, _sw = two_hosts
+    sink = Sink(b, 7000)
+    flow = BulkSender(sim, a, b.addr, 7000, send_at=0.05)
+    sim.run(until=0.04)
+    assert flow.conn.state == ESTABLISHED
+    assert sink.bytes_received == 0
+    sim.run(until=0.1)
+    assert sink.bytes_received > 0
