@@ -1,0 +1,49 @@
+"""Chaos sweep: goodput degradation vs fault intensity, all schemes."""
+
+from conftest import emit, run_once
+from repro.experiments import chaos as exp
+from repro.experiments.report import format_table
+
+
+def test_bench_chaos(benchmark, capsys):
+    result = run_once(benchmark, lambda: exp.run(seed=0))
+    rows = []
+    for scheme, points in result.items():
+        for p in points:
+            rows.append([
+                scheme, p["intensity"], round(p["goodput_gbps"], 3),
+                f'{p["completed"]}/{p["flows"]}', p["injected_events"],
+                p.get("resurrections", "-"), p.get("feedback_resyncs", "-"),
+            ])
+    emit(capsys, format_table(
+        ["scheme", "intensity", "goodput_gbps", "done", "events",
+         "resurrect", "resync"],
+        rows, title="Chaos — goodput vs fault intensity (all injectors)"))
+
+    for scheme, points in result.items():
+        clean = points[0]
+        assert clean["intensity"] == 0.0
+        # Fault-free completion, near line rate, zero fault events.
+        assert clean["completed"] == clean["flows"]
+        assert clean["goodput_gbps"] > 8.0
+        assert clean["injected_events"] == 0
+        for p in points[1:]:
+            # Ledger consistency: every injector activation is recorded,
+            # per cause, and nothing else is.
+            assert sum(p["fault_counts"].values()) == p["injected_events"]
+            assert p["injected_events"] > 0
+            assert all(n > 0 for n in p["fault_counts"].values())
+            # Monotone headline: faults cost goodput.
+            assert p["goodput_gbps"] < clean["goodput_gbps"]
+
+    acdc = result["acdc"]
+    for p in acdc[1:]:
+        # The restart fired on two hosts and entries were rebuilt mid-flow.
+        assert p["fault_counts"].get("vswitch_restart") == 2
+        assert p["restarts"] == 2
+        assert p["resurrections"] > 0
+    # Datacenter-realistic fault rates (1-2%): AC/DC transfers still
+    # complete — the vSwitch layer adds no new fragility vs plain OVS.
+    for p in acdc:
+        if 0.0 < p["intensity"] <= 0.02:
+            assert p["completed"] == p["flows"]

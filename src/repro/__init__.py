@@ -22,7 +22,11 @@ Package layout:
   workload generators;
 * ``repro.metrics`` — percentiles, fairness, throughput meters, the CPU
   cost model;
-* ``repro.experiments`` — one module per paper figure/table.
+* ``repro.faults`` — seeded fault injection wrapping any vSwitch
+  datapath (loss, corruption, duplication, reordering, delay, link
+  flaps, mid-run vSwitch restarts);
+* ``repro.experiments`` — one module per paper figure/table, plus the
+  chaos robustness sweep.
 """
 
 from .core import (

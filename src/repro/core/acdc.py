@@ -87,6 +87,10 @@ class AcdcVswitch:
         )
         self.table.start_gc()
         self.policer = Policer(self.config.policing_slack_segments)
+        # Fault-recovery accounting (see repro.faults): state losses this
+        # vSwitch suffered and flow entries rebuilt mid-flow afterwards.
+        self.restarts = 0
+        self.resurrections = 0
 
     # ------------------------------------------------------------------
     # Entry management
@@ -110,6 +114,33 @@ class AcdcVswitch:
             entry = self.table.ensure(key, self.policy.policy_for(key), self.mss)
             self._apply_config_floor(entry)
         self.ops.record("flow_insert", 2)
+
+    def _resurrect(self, key: FlowKey) -> FlowEntry:
+        """Rebuild a flow entry mid-flow, after the table lost its state.
+
+        The entry starts from conservative defaults: a fresh congestion
+        window, ``peer_wscale`` 0 (the handshake is long gone, so window
+        rewrites are capped at 64 KB until re-learned — never an unsafe
+        *upward* lie), and a conntrack that seeds itself from the first
+        packet it sees (:meth:`ConnTrack.on_egress_data` /
+        :meth:`ConnTrack.on_ingress_ack`).
+        """
+        entry = self.table.ensure(key, self.policy.policy_for(key), self.mss)
+        self._apply_config_floor(entry)
+        self.resurrections += 1
+        self.ops.record("flow_resurrect")
+        return entry
+
+    def restart(self) -> None:
+        """Simulate a vSwitch crash/upgrade: all flow-table state is lost.
+
+        Subsequent packets recreate their entries mid-flow via
+        :meth:`_resurrect`; the VMs' connections themselves survive (§4 —
+        the flow table is soft state inferred from traffic).
+        """
+        for key in list(self.table.entries):
+            self.table.remove(key)
+        self.restarts += 1
 
     # ------------------------------------------------------------------
     # Egress: VM -> wire
@@ -155,7 +186,11 @@ class AcdcVswitch:
 
     def _egress_data(self, pkt: Packet) -> Optional[Packet]:
         entry = self._sender_entry(pkt.flow_key())
-        if entry is None or not entry.policy.enforced:
+        if entry is None:
+            # Data with no SYN on record: the flow predates this vSwitch's
+            # state (restart, migration).  Rebuild the entry mid-flow.
+            entry = self._resurrect(pkt.flow_key())
+        if not entry.policy.enforced:
             return pkt
         entry.conntrack.on_egress_data(pkt)
         self.ops.record("seq_update")
@@ -231,7 +266,12 @@ class AcdcVswitch:
     def _ingress_ack(self, pkt: Packet) -> bool:
         """Sender module on an incoming ACK.  Returns True if consumed."""
         entry = self.table.lookup(pkt.reverse_key())
-        if entry is None or not entry.policy.enforced:
+        if entry is None:
+            # ACK for a flow we have no entry for: state was lost while
+            # the transfer was in progress.  Resurrect the sender-role
+            # entry; conntrack seeds snd_una from this very ACK.
+            entry = self._resurrect(pkt.reverse_key())
+        if not entry.policy.enforced:
             return bool(pkt.is_fack)
         verdict = entry.conntrack.on_ingress_ack(pkt, self.sim.now)
         self.ops.record("seq_update")
@@ -278,8 +318,12 @@ class AcdcVswitch:
 
     def _ingress_data(self, pkt: Packet) -> None:
         """Receiver module on arriving data: count, then scrub ECN."""
-        entry = self.table.ensure(
-            pkt.flow_key(), self.policy.policy_for(pkt.flow_key()), self.mss)
+        entry = self.table.lookup(pkt.flow_key())
+        if entry is None:
+            # No SYN on record for this data: receiver-role resurrection
+            # (the feedback counters restart from zero; the sender module
+            # on the far side resyncs its reader to the new baseline).
+            entry = self._resurrect(pkt.flow_key())
         if not entry.policy.enforced:
             return
         entry.receiver_feedback.on_data(pkt)

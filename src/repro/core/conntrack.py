@@ -11,6 +11,15 @@ sender-side variables of Fig. 4 purely by watching traffic:
 * a timeout is *inferred* when ``snd_una < snd_nxt`` and an inactivity
   timer fires (the timer itself lives in the AC/DC datapath, which calls
   :meth:`infer_timeout`).
+
+State can also be rebuilt **mid-flow**: when the first packet the tracker
+sees is a data segment or an ACK (flow entry lost to a vSwitch restart or
+VM migration, or the flow predates this vSwitch), the sequence space is
+seeded from that packet instead of a SYN.
+
+All sequence comparisons use RFC 1982-style serial arithmetic over the
+32-bit space (:mod:`repro.net.packet`), so tracking survives flows that
+wrap past 2^32 bytes.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..net.packet import Packet
+from ..net.packet import Packet, SEQ_MASK, seq_add, seq_delta, seq_gt
 
 DUPACK_THRESHOLD = 3
 
@@ -56,21 +65,27 @@ class ConnTrack:
     def bytes_outstanding(self) -> int:
         if self.snd_una is None or self.snd_nxt is None:
             return 0
-        return max(self.snd_nxt - self.snd_una, 0)
+        return max(seq_delta(self.snd_nxt, self.snd_una), 0)
 
     # ------------------------------------------------------------------
     def on_egress_syn(self, pkt: Packet, now: float = 0.0) -> None:
         """Seed the sequence space from the VM's SYN."""
-        self.snd_una = pkt.seq
-        self.snd_nxt = pkt.seq + 1
+        self.snd_una = pkt.seq & SEQ_MASK
+        self.snd_nxt = seq_add(pkt.seq, 1)
         self.syn_sent_at = now
 
     def on_egress_data(self, pkt: Packet) -> None:
-        """Advance ``snd_nxt`` for a data packet leaving the VM."""
+        """Advance ``snd_nxt`` for a data packet leaving the VM.
+
+        An uninitialized tracker (mid-flow resurrection) seeds both ends
+        of the window from this packet — the conservative choice: bytes
+        below it count as acknowledged, so the inferred window restarts
+        from zero outstanding rather than a stale estimate.
+        """
         if self.snd_nxt is None:
-            self.snd_una = pkt.seq
+            self.snd_una = pkt.seq & SEQ_MASK
             self.snd_nxt = pkt.end_seq
-        elif pkt.end_seq > self.snd_nxt:
+        elif seq_gt(pkt.end_seq, self.snd_nxt):
             self.snd_nxt = pkt.end_seq
 
     def on_ingress_ack(self, pkt: Packet, now: float) -> AckVerdict:
@@ -84,19 +99,22 @@ class ConnTrack:
             # the inactivity timer starts on the right scale.
             self.ack_gap_estimate = max(now - self.syn_sent_at, 0.0)
         self.last_ack_at = now
-        ack_seq = pkt.ack_seq
+        ack_seq = pkt.ack_seq & SEQ_MASK
         if self.snd_una is None:
+            # Mid-flow resurrection from an ACK: everything at or below
+            # the cumulative ACK is acknowledged by definition.
             self.snd_una = ack_seq
-            if self.snd_nxt is None or ack_seq > self.snd_nxt:
+            if self.snd_nxt is None or seq_gt(ack_seq, self.snd_nxt):
                 self.snd_nxt = ack_seq
             return verdict
-        if ack_seq > self.snd_una:
-            verdict.newly_acked = ack_seq - self.snd_una
+        if seq_gt(ack_seq, self.snd_una):
+            verdict.newly_acked = seq_delta(ack_seq, self.snd_una)
             self.snd_una = ack_seq
-            if self.snd_nxt is not None and ack_seq > self.snd_nxt:
+            if self.snd_nxt is not None and seq_gt(ack_seq, self.snd_nxt):
                 self.snd_nxt = ack_seq
             self.dupacks = 0
-        elif ack_seq == self.snd_una and pkt.payload_len == 0 and self.bytes_outstanding > 0:
+        elif (ack_seq == self.snd_una and pkt.payload_len == 0
+              and self.bytes_outstanding > 0):
             self.dupacks += 1
             verdict.is_dupack = True
             if self.dupacks == DUPACK_THRESHOLD:

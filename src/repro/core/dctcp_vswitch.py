@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..net.packet import seq_geq, seq_lt
 from .priority import priority_decrease, validate_beta
 
 VSWITCH_DCTCP_G = 1.0 / 16.0
@@ -51,8 +52,12 @@ class VswitchDctcp:
         self.ssthresh = float(1 << 30)
         self.alpha = 1.0
         # Sequence gates: alpha updates and window cuts once per window/RTT.
+        # Seeded lazily from the first observed snd_una — comparisons are
+        # serial (mod 2^32), so an absolute 0 would misread flows whose
+        # ISS sits just below the wrap.
         self.alpha_update_seq = 0
         self.cut_seq = 0
+        self._gates_seeded = False
         # Feedback accumulators between alpha updates.
         self._acked_total = 0
         self._acked_marked = 0
@@ -81,9 +86,10 @@ class VswitchDctcp:
         receiver-module byte counters carried by PACK/FACK since the last
         ACK (zero when the ACK carried no feedback option).
         """
+        self._seed_gates(snd_una)
         self._acked_total += feedback_total
         self._acked_marked += feedback_marked
-        if snd_una >= self.alpha_update_seq:
+        if seq_geq(snd_una, self.alpha_update_seq):
             self._update_alpha(snd_nxt)
 
         congestion = feedback_marked > 0
@@ -100,6 +106,7 @@ class VswitchDctcp:
     def on_timeout(self, snd_una: int, snd_nxt: int) -> int:
         """Inferred RTO (inactivity with bytes outstanding): saturate alpha
         and cut; Fig. 5 treats it as the loss branch."""
+        self._seed_gates(snd_una)
         self.alpha = ALPHA_MAX
         self.loss_events += 1
         # A timeout is a window-boundary event by definition; force the cut.
@@ -116,9 +123,15 @@ class VswitchDctcp:
         self._acked_marked = 0
         self.alpha_update_seq = snd_nxt
 
+    def _seed_gates(self, snd_una: int) -> None:
+        if not self._gates_seeded:
+            self.alpha_update_seq = snd_una
+            self.cut_seq = snd_una
+            self._gates_seeded = True
+
     def _cut(self, snd_una: int, snd_nxt: int) -> None:
         """Multiplicative decrease, at most once per window in flight."""
-        if snd_una < self.cut_seq:
+        if seq_lt(snd_una, self.cut_seq):
             return
         self.wnd = max(priority_decrease(self.wnd, self.alpha, self.beta),
                        float(self.min_wnd))

@@ -19,7 +19,7 @@ duplicate ACKs (the flexibility §3.3 describes).
 
 from __future__ import annotations
 
-from ..net.packet import Packet
+from ..net.packet import Packet, seq_add, seq_leq
 
 
 class WindowEnforcer:
@@ -79,8 +79,8 @@ class Policer:
         momentarily exceeds the window (sub-MSS windows rounded up to one
         segment, window shrinkage racing packets already in the stack).
         """
-        limit = snd_una + window_bytes + self.slack_segments * mss
-        if pkt.end_seq <= limit:
+        limit = seq_add(snd_una, window_bytes + self.slack_segments * mss)
+        if seq_leq(pkt.end_seq, limit):
             return True
         self.drops += 1
         return False

@@ -63,11 +63,26 @@ class ReceiverFeedback:
 
 
 class FeedbackReader:
-    """Sender-module side: cumulative report -> per-ACK deltas."""
+    """Sender-module side: cumulative report -> per-ACK deltas.
+
+    A report *below* the high-water mark is normally a reordered stale
+    PACK and is ignored.  But when the receiver-side vSwitch loses its
+    state (restart, VM migration) its counters restart from zero, and
+    every subsequent report regresses — without resync the sender module
+    would never see congestion feedback again.  The reader therefore
+    re-baselines after :data:`RESYNC_AFTER` *consecutive* regressive
+    reports: reordering produces isolated stale reports interleaved with
+    fresh ones, a counter reset produces an unbroken run of them.
+    """
+
+    #: Consecutive regressive reports that signal a receiver-counter reset.
+    RESYNC_AFTER = 3
 
     def __init__(self) -> None:
         self.last_total = 0
         self.last_marked = 0
+        self.stale_reports = 0   # current run of regressive reports
+        self.resyncs = 0         # receiver-state losses recovered from
 
     def consume(self, pack: Optional[PackOption]) -> tuple:
         """Return (total_delta, marked_delta) for this report.
@@ -78,7 +93,16 @@ class FeedbackReader:
         if pack is None:
             return (0, 0)
         if pack.total_bytes < self.last_total:
+            self.stale_reports += 1
+            if self.stale_reports >= self.RESYNC_AFTER:
+                # Receiver counters restarted: adopt the new baseline so
+                # the feedback channel resumes from the reset point.
+                self.last_total = pack.total_bytes
+                self.last_marked = pack.marked_bytes
+                self.stale_reports = 0
+                self.resyncs += 1
             return (0, 0)
+        self.stale_reports = 0
         total_delta = pack.total_bytes - self.last_total
         marked_delta = max(0, pack.marked_bytes - self.last_marked)
         self.last_total = pack.total_bytes

@@ -19,6 +19,7 @@ from typing import Dict
 OPS = frozenset({
     "flow_lookup",        # hash-table lookup (every packet, baseline too)
     "flow_insert",        # SYN handling
+    "flow_resurrect",     # mid-flow entry rebuild after state loss
     "flow_remove",        # FIN/GC
     "seq_update",         # conntrack snd_nxt/snd_una maintenance
     "ecn_mark",           # egress ECT marking

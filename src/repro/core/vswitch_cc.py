@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..net.packet import seq_lt
 from ..tcp.cc.cubic import CUBIC_BETA, CUBIC_C
 
 INITIAL_WINDOW_SEGMENTS = 10
@@ -46,6 +47,7 @@ class VswitchCongestionControl:
         self.wnd = float(min(INITIAL_WINDOW_SEGMENTS * mss, self.max_wnd))
         self.ssthresh = float(1 << 30)
         self.cut_seq = 0
+        self._gates_seeded = False
         self.cuts = 0
         self.loss_events = 0
         self.alpha = 0.0   # uniform introspection with DCTCP
@@ -60,6 +62,7 @@ class VswitchCongestionControl:
                feedback_total: int, feedback_marked: int,
                loss: bool) -> int:
         """Process one ACK's worth of information; returns the window."""
+        self._seed_gates(snd_una)
         if loss:
             self.loss_events += 1
             self._cut(snd_una, snd_nxt)
@@ -73,12 +76,24 @@ class VswitchCongestionControl:
 
     def on_timeout(self, snd_una: int, snd_nxt: int) -> int:
         """Inferred RTO: slow-start restart."""
+        self._seed_gates(snd_una)
         self.loss_events += 1
         self.ssthresh = max(self.wnd / 2.0, float(2 * self.mss))
         self.wnd = float(self.mss)
         self.cut_seq = snd_nxt
         self.cuts += 1
         return self.window_bytes
+
+    def _seed_gates(self, snd_una: int) -> None:
+        """Anchor the once-per-window gate at the first observed ACK point.
+
+        Sequence comparisons are serial (mod 2^32), so the gate cannot
+        start at a literal 0 — a flow whose ISS sits just below the wrap
+        would otherwise read as "already cut" forever.
+        """
+        if not self._gates_seeded:
+            self.cut_seq = snd_una
+            self._gates_seeded = True
 
     # -- policy hooks --------------------------------------------------------
     def _cut_factor(self) -> float:
@@ -97,7 +112,7 @@ class VswitchCongestionControl:
 
     # -- shared mechanics ---------------------------------------------------
     def _cut(self, snd_una: int, snd_nxt: int) -> None:
-        if snd_una < self.cut_seq:
+        if seq_lt(snd_una, self.cut_seq):
             return  # already cut in this window
         self.wnd = max(self.wnd * self._cut_factor(), float(self.min_wnd))
         self.ssthresh = self.wnd
@@ -137,7 +152,7 @@ class VswitchCubic(VswitchCongestionControl):
         return CUBIC_BETA
 
     def _cut(self, snd_una: int, snd_nxt: int) -> None:
-        if snd_una < self.cut_seq:
+        if seq_lt(snd_una, self.cut_seq):
             return
         self.w_max = self.wnd / self.mss
         self._in_epoch = False

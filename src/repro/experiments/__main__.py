@@ -19,6 +19,7 @@ import sys
 
 from . import (
     ablations,
+    chaos,
     fig01_heterogeneous_unfairness,
     fig02_rate_limiting_insufficient,
     fig06_rwnd_vs_cwnd_clamp,
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "fig21": fig21_concurrent_stride.run,
     "fig22": fig22_shuffle.run,
     "fig23": fig23_trace_driven.run,
+    "chaos": chaos.run,
     "ablation-policing": ablations.run_policing,
     "ablation-feedback": ablations.run_feedback_modes,
     "ablation-ecn-hiding": ablations.run_ecn_hiding,

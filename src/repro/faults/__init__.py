@@ -1,0 +1,59 @@
+"""Composable, deterministic fault injection for the datapath.
+
+Robustness claims are only as good as the failure modes they were tested
+against.  This package provides seeded fault injectors that wrap any
+vSwitch datapath (:class:`~repro.net.host.VSwitch` protocol) without the
+datapath knowing it is being tortured:
+
+* :class:`PacketLoss` — random drops;
+* :class:`Corruption` — bit corruption with checksum-drop semantics (a
+  corrupted packet fails the receiver NIC's checksum and is discarded,
+  but is accounted under its own cause);
+* :class:`Duplication` — the packet and an identical copy both proceed;
+* :class:`Reordering` — the packet is held back for a bounded interval
+  and re-emitted behind later traffic;
+* :class:`DelayJitter` — bounded random per-packet delay;
+* :class:`LinkFlap` — a periodic down-schedule during which everything
+  matching is dropped;
+* :class:`VswitchRestart` — wipes the wrapped AC/DC datapath's flow
+  table mid-run (the recovery path under test in §4's soft-state
+  design).
+
+Faults are composed into a :class:`FaultyDatapath` pipeline via
+:func:`install_faults`; every injector draws from its own named stream
+of :class:`~repro.sim.rng.RngFactory`, so the same seed reproduces the
+exact same fault sequence.  Per-cause counters land in a
+:class:`~repro.metrics.collectors.FaultRecorder`.
+"""
+
+from .injectors import (
+    Corruption,
+    DelayJitter,
+    Duplication,
+    Fault,
+    FaultyDatapath,
+    LinkFlap,
+    PacketLoss,
+    Reordering,
+    Transparent,
+    VswitchRestart,
+    install_faults,
+    is_data,
+    is_pure_ack,
+)
+
+__all__ = [
+    "Corruption",
+    "DelayJitter",
+    "Duplication",
+    "Fault",
+    "FaultyDatapath",
+    "LinkFlap",
+    "PacketLoss",
+    "Reordering",
+    "Transparent",
+    "VswitchRestart",
+    "install_faults",
+    "is_data",
+    "is_pure_ack",
+]

@@ -1,0 +1,378 @@
+"""Fault injectors and the pipeline that wires them into a host.
+
+A :class:`FaultyDatapath` wraps an inner vSwitch and sits in the host's
+packet path in its place.  Faults act on the *wire side* of the inner
+datapath, mirroring where real networks misbehave:
+
+* egress: the inner datapath processes the packet first, then the fault
+  stages run in order before the packet reaches the NIC;
+* ingress: the fault stages run first (the packet is still "on the
+  wire"), then the inner datapath sees whatever survives.
+
+Stages that re-emit packets asynchronously (duplication, reordering,
+delay) cannot use the single-return vSwitch protocol, so the pipeline
+exposes :meth:`FaultyDatapath.resume`: a held or copied packet re-enters
+the pipeline at the stage *after* the one that created it and, if it
+survives, is emitted through the same exit the in-band path uses.
+
+Determinism: every fault draws from
+``RngFactory(seed).stream(f"fault:{kind}")`` — same seed, same kind ⇒
+bit-identical fault sequence, independent of other streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+from ..metrics.collectors import FaultRecorder
+from ..net.packet import Packet
+from ..sim.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.host import Host
+
+#: Packet predicate used to scope a fault to a traffic class.
+Matcher = Callable[[Packet], bool]
+
+
+def is_data(pkt: Packet) -> bool:
+    """Match packets carrying payload."""
+    return pkt.payload_len > 0
+
+
+def is_pure_ack(pkt: Packet) -> bool:
+    """Match payload-less non-SYN ACKs (the feedback/control channel)."""
+    return pkt.ack and pkt.payload_len == 0 and not pkt.syn
+
+
+class Fault:
+    """One composable fault stage.
+
+    Subclasses set :attr:`kind` (also the cause name recorded into the
+    :class:`~repro.metrics.collectors.FaultRecorder`) and implement
+    :meth:`process`; ``direction`` is ``"egress"``, ``"ingress"`` or
+    ``"both"``; ``match`` optionally narrows the fault to a traffic
+    class (:func:`is_data`, :func:`is_pure_ack`, or any predicate).
+    """
+
+    kind = "fault"
+
+    def __init__(self, seed: int = 0, direction: str = "both",
+                 match: Optional[Matcher] = None):
+        if direction not in ("egress", "ingress", "both"):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.direction = direction
+        self.match = match
+        self.rng = RngFactory(seed).stream(f"fault:{self.kind}")
+        self.events = 0          # fault activations (1:1 with records)
+        self.pipeline: Optional["FaultyDatapath"] = None
+
+    def attach(self, pipeline: "FaultyDatapath") -> None:
+        """Called when the fault joins a pipeline (override to schedule)."""
+        self.pipeline = pipeline
+
+    def applies(self, pkt: Packet, direction: str) -> bool:
+        if self.direction != "both" and self.direction != direction:
+            return False
+        return self.match is None or self.match(pkt)
+
+    def process(self, pkt: Packet, pipeline: "FaultyDatapath",
+                index: int, direction: str) -> Optional[Packet]:
+        """Act on one packet; return it (possibly modified) or None if the
+        stage consumed it.  ``index`` is this stage's position, so a stage
+        that re-emits later resumes at ``index + 1``."""
+        raise NotImplementedError
+
+
+class PacketLoss(Fault):
+    """Drop each matching packet with probability ``rate``."""
+
+    kind = "loss"
+
+    def __init__(self, rate: float, seed: int = 0, direction: str = "both",
+                 match: Optional[Matcher] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        super().__init__(seed, direction, match)
+        self.rate = rate
+
+    def process(self, pkt, pipeline, index, direction):
+        if self.rng.random() < self.rate:
+            self.events += 1
+            pipeline.record(self.kind)
+            return None
+        return pkt
+
+
+class Corruption(Fault):
+    """Flip bits in each matching packet with probability ``rate``.
+
+    Checksum-drop semantics: the receiver NIC verifies the TCP/IP
+    checksums, so a corrupted packet never reaches the stack — the
+    observable effect is a drop, accounted under its own cause (and, on
+    a real link, visible in the NIC's error counters rather than the
+    switch's).
+    """
+
+    kind = "corrupt"
+
+    def __init__(self, rate: float, seed: int = 0, direction: str = "both",
+                 match: Optional[Matcher] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("corruption rate must be in [0, 1]")
+        super().__init__(seed, direction, match)
+        self.rate = rate
+
+    def process(self, pkt, pipeline, index, direction):
+        if self.rng.random() < self.rate:
+            self.events += 1
+            pipeline.record(self.kind)
+            return None
+        return pkt
+
+
+class Duplication(Fault):
+    """Emit an identical copy alongside each matching packet, with
+    probability ``rate`` (switch retransmit bugs, routing loops)."""
+
+    kind = "duplicate"
+
+    def __init__(self, rate: float, seed: int = 0, direction: str = "both",
+                 match: Optional[Matcher] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("duplication rate must be in [0, 1]")
+        super().__init__(seed, direction, match)
+        self.rate = rate
+
+    def process(self, pkt, pipeline, index, direction):
+        if self.rng.random() < self.rate:
+            self.events += 1
+            pipeline.record(self.kind)
+            # The copy runs the *remaining* stages independently, so a
+            # later loss stage can still kill either twin.
+            pipeline.resume(pkt.copy(), index + 1, direction)
+        return pkt
+
+
+class Reordering(Fault):
+    """Hold a matching packet back for roughly ``hold_s`` and re-emit it
+    behind traffic sent in the meantime, with probability ``rate``."""
+
+    kind = "reorder"
+
+    def __init__(self, rate: float, hold_s: float = 200e-6, seed: int = 0,
+                 direction: str = "both", match: Optional[Matcher] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("reorder rate must be in [0, 1]")
+        if hold_s <= 0:
+            raise ValueError("hold time must be positive")
+        super().__init__(seed, direction, match)
+        self.rate = rate
+        self.hold_s = hold_s
+
+    def process(self, pkt, pipeline, index, direction):
+        if self.rng.random() < self.rate:
+            self.events += 1
+            pipeline.record(self.kind)
+            hold = self.hold_s * self.rng.uniform(0.5, 1.5)
+            pipeline.sim.schedule(hold, pipeline.resume, pkt, index + 1,
+                                  direction)
+            return None
+        return pkt
+
+
+class DelayJitter(Fault):
+    """Add uniform(0, ``jitter_s``) of delay to each matching packet.
+
+    Unlike the host's monotonic TX jitter, draws are independent per
+    packet, so jitter alone can invert the order of close-together
+    packets — that is the point.
+    """
+
+    kind = "delay"
+
+    def __init__(self, jitter_s: float, rate: float = 1.0, seed: int = 0,
+                 direction: str = "both", match: Optional[Matcher] = None):
+        if jitter_s <= 0:
+            raise ValueError("jitter must be positive")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("delay rate must be in [0, 1]")
+        super().__init__(seed, direction, match)
+        self.jitter_s = jitter_s
+        self.rate = rate
+
+    def process(self, pkt, pipeline, index, direction):
+        if self.rate >= 1.0 or self.rng.random() < self.rate:
+            self.events += 1
+            pipeline.record(self.kind)
+            delay = self.rng.uniform(0.0, self.jitter_s)
+            pipeline.sim.schedule(delay, pipeline.resume, pkt, index + 1,
+                                  direction)
+            return None
+        return pkt
+
+
+class LinkFlap(Fault):
+    """Link outage schedule: everything matching is dropped while down.
+
+    One outage of ``down_for_s`` per ``period_s``, its start drawn from
+    the fault's seeded stream within each period.  The placement draws
+    happen in period order, so the schedule is reproducible — but it is
+    *not* phase-locked: a strictly periodic outage whose period divides
+    the guest's RTO backoff sequence (10, 20, 40 ms...) would swallow
+    every retransmission of an unlucky segment forever, a measurement
+    artifact rather than a robustness result.
+    """
+
+    kind = "link_flap"
+
+    def __init__(self, period_s: float, down_for_s: float, seed: int = 0,
+                 direction: str = "both", match: Optional[Matcher] = None):
+        if period_s <= 0:
+            raise ValueError("flap period must be positive")
+        if not 0.0 <= down_for_s <= period_s:
+            raise ValueError("down time must be within one period")
+        super().__init__(seed, direction, match)
+        self.period_s = period_s
+        self.down_for_s = down_for_s
+        self._period_idx = -1
+        self._down_start = 0.0
+
+    def is_down(self, now: float) -> bool:
+        if self.down_for_s == 0.0:
+            return False
+        # Simulation time is monotone, so period placements can be drawn
+        # lazily in order without replaying the stream.
+        idx = int(now / self.period_s)
+        while self._period_idx < idx:
+            self._period_idx += 1
+            self._down_start = (self._period_idx * self.period_s
+                                + self.rng.uniform(
+                                    0.0, self.period_s - self.down_for_s))
+        return self._down_start <= now < self._down_start + self.down_for_s
+
+    def process(self, pkt, pipeline, index, direction):
+        if self.is_down(pipeline.sim.now):
+            self.events += 1
+            pipeline.record(self.kind)
+            return None
+        return pkt
+
+
+class VswitchRestart(Fault):
+    """Wipe the wrapped datapath's soft state at scheduled instants.
+
+    Not a per-packet fault: :meth:`attach` schedules one event per time
+    in ``at``, each calling the inner datapath's ``restart()`` (a no-op
+    warning-free skip for datapaths without one, e.g. ``PlainOvs``).
+    """
+
+    kind = "vswitch_restart"
+
+    def __init__(self, at: Sequence[float]):
+        super().__init__(0, "both", None)
+        self.at = tuple(at)
+
+    def attach(self, pipeline: "FaultyDatapath") -> None:
+        super().attach(pipeline)
+        for t in self.at:
+            pipeline.sim.schedule_at(t, self._fire)
+
+    def _fire(self) -> None:
+        restart = getattr(self.pipeline.inner, "restart", None)
+        if restart is not None:
+            restart()
+        self.events += 1
+        self.pipeline.record(self.kind)
+
+    def applies(self, pkt, direction):
+        return False
+
+    def process(self, pkt, pipeline, index, direction):  # pragma: no cover
+        return pkt
+
+
+class Transparent:
+    """A no-op inner datapath for hosts with no vSwitch of their own."""
+
+    def egress(self, pkt: Packet) -> Optional[Packet]:
+        return pkt
+
+    def ingress(self, pkt: Packet) -> Optional[Packet]:
+        return pkt
+
+
+class FaultyDatapath:
+    """A vSwitch wrapper running packets through an ordered fault chain.
+
+    Satisfies the :class:`~repro.net.host.VSwitch` protocol, so the host
+    drives it exactly like the datapath it wraps.
+    """
+
+    def __init__(self, host: "Host", inner, faults: Sequence[Fault],
+                 recorder: Optional[FaultRecorder] = None):
+        self.host = host
+        self.sim = host.sim
+        self.inner = inner
+        self.faults: List[Fault] = list(faults)
+        self.recorder = recorder if recorder is not None else FaultRecorder()
+        for fault in self.faults:
+            fault.attach(self)
+
+    # ------------------------------------------------------------------
+    def record(self, cause: str) -> None:
+        self.recorder.record(cause)
+
+    # ------------------------------------------------------------------
+    # VSwitch protocol
+    # ------------------------------------------------------------------
+    def egress(self, pkt: Packet) -> Optional[Packet]:
+        out = self.inner.egress(pkt)
+        if out is None:
+            return None
+        return self._run_faults(out, 0, "egress")
+
+    def ingress(self, pkt: Packet) -> Optional[Packet]:
+        out = self._run_faults(pkt, 0, "ingress")
+        if out is None:
+            return None
+        return self.inner.ingress(out)
+
+    # ------------------------------------------------------------------
+    def _run_faults(self, pkt: Packet, start: int,
+                    direction: str) -> Optional[Packet]:
+        for i in range(start, len(self.faults)):
+            fault = self.faults[i]
+            if not fault.applies(pkt, direction):
+                continue
+            pkt = fault.process(pkt, self, i, direction)
+            if pkt is None:
+                return None
+        return pkt
+
+    def resume(self, pkt: Packet, index: int, direction: str) -> None:
+        """Re-enter the chain at ``index`` for a held or copied packet and
+        emit through the same exit the in-band path uses."""
+        out = self._run_faults(pkt, index, direction)
+        if out is None:
+            return
+        if direction == "egress":
+            self.host.wire_out(out)
+        else:
+            inner_out = self.inner.ingress(out)
+            if inner_out is not None:
+                self.host.deliver(inner_out)
+
+
+def install_faults(host: "Host", faults: Sequence[Fault], inner=None,
+                   recorder: Optional[FaultRecorder] = None) -> FaultyDatapath:
+    """Wrap ``host``'s datapath in a fault chain and attach it.
+
+    ``inner`` defaults to the host's current vSwitch (or a
+    :class:`Transparent` stand-in if it has none).
+    """
+    if inner is None:
+        inner = host.vswitch if host.vswitch is not None else Transparent()
+    pipeline = FaultyDatapath(host, inner, faults, recorder)
+    host.attach_vswitch(pipeline)
+    return pipeline

@@ -1,6 +1,7 @@
 """Measurement: statistics, collectors, and the CPU-overhead model."""
 
 from .collectors import (
+    FaultRecorder,
     FctRecorder,
     FlowRecord,
     RttRecorder,
@@ -13,6 +14,7 @@ from .stats import Ewma, cdf_points, jain_index, moving_average, percentile, sum
 __all__ = [
     "CpuReport",
     "Ewma",
+    "FaultRecorder",
     "FctRecorder",
     "FlowRecord",
     "RttRecorder",

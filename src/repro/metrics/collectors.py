@@ -8,6 +8,7 @@ TCP application that measures flow completion times.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -130,3 +131,29 @@ class RttRecorder:
         if rtt_s < 0:
             raise ValueError("negative RTT sample")
         self.samples.append(rtt_s)
+
+
+class FaultRecorder:
+    """Per-cause ledger of injected faults (see :mod:`repro.faults`).
+
+    Every fault event records under its cause name ("loss", "corrupt",
+    "duplicate", "reorder", "delay", "link_flap", "vswitch_restart"), so
+    experiments can assert that the counters sum to the events the
+    injectors report and break degradation down by cause.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def record(self, cause: str, n: int = 1) -> None:
+        self.counts[cause] += n
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def merge(self, other: "FaultRecorder") -> None:
+        """Fold another recorder's counts into this one."""
+        self.counts.update(other.counts)

@@ -37,6 +37,7 @@ from typing import Dict, Mapping
 DEFAULT_OP_COSTS_NS: Dict[str, float] = {
     "flow_lookup": 70.0,      # RCU hash lookup
     "flow_insert": 450.0,
+    "flow_resurrect": 450.0,  # same alloc+insert path as a SYN insert
     "flow_remove": 300.0,
     "seq_update": 20.0,
     "ecn_mark": 12.0,

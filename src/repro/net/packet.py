@@ -15,16 +15,56 @@ rather than treating packets as opaque blobs:
 * the reserved-bit flag AC/DC uses to remember whether the VM itself
   negotiated ECN (``vm_ect``).
 
-Sizes are in bytes.  Sequence numbers are Python ints (no 32-bit
-wrap-around: the testbed experiments move at most a few GB per flow and
-wrap handling would only obscure the logic under test).
+Sizes are in bytes.  Sequence numbers live in TCP's 32-bit circular
+space: the :func:`seq_lt` family implements RFC 1982-style serial
+arithmetic so flows that transfer more than 4 GB (or start near the top
+of the space) compare correctly across the wrap.  The vSwitch-side
+consumers (conntrack, the policer, the vSwitch CC gates) all go through
+these helpers.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
+
+# --- 32-bit sequence space (RFC 1982 serial arithmetic) ----------------
+SEQ_SPACE = 1 << 32
+SEQ_MASK = SEQ_SPACE - 1
+SEQ_HALF = 1 << 31
+
+
+def seq_add(seq: int, n: int) -> int:
+    """``seq + n`` wrapped into the 32-bit sequence space."""
+    return (seq + n) & SEQ_MASK
+
+
+def seq_delta(a: int, b: int) -> int:
+    """Signed circular distance ``a - b`` in [-2^31, 2^31).
+
+    Positive when ``a`` is ahead of ``b`` by less than half the space —
+    the serial-arithmetic notion of "later" that survives wraparound.
+    """
+    return ((a - b + SEQ_HALF) & SEQ_MASK) - SEQ_HALF
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """True if ``a`` precedes ``b`` in the circular sequence space."""
+    return seq_delta(a, b) < 0
+
+
+def seq_leq(a: int, b: int) -> bool:
+    return seq_delta(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    """True if ``a`` follows ``b`` in the circular sequence space."""
+    return seq_delta(a, b) > 0
+
+
+def seq_geq(a: int, b: int) -> bool:
+    return seq_delta(a, b) >= 0
 
 # --- IP ECN codepoints (RFC 3168) -------------------------------------
 ECN_NOT_ECT = 0  # not ECN-capable transport
@@ -122,8 +162,20 @@ class Packet:
 
     @property
     def end_seq(self) -> int:
-        """Sequence number just past this segment's payload."""
-        return self.seq + self.payload_len
+        """Sequence number just past this segment's payload (mod 2^32)."""
+        return seq_add(self.seq, self.payload_len)
+
+    def copy(self) -> "Packet":
+        """Wire-level duplicate: same headers and payload, fresh identity.
+
+        Used by the fault injectors; nested mutable options are copied so
+        a later rewrite of one duplicate cannot alias the other.
+        """
+        dup = replace(self)
+        dup.pid = next(_packet_ids)
+        if self.pack is not None:
+            dup.pack = PackOption(self.pack.total_bytes, self.pack.marked_bytes)
+        return dup
 
     def flow_key(self) -> FlowKey:
         """5-tuple identity in the direction the packet travels."""

@@ -2,36 +2,14 @@
 
 The feedback channel rides the data path: ACKs (and so PACKs) can be
 lost, reordered or delayed.  The cumulative-counter encoding (§3.2) must
-keep the vSwitch congestion control consistent through all of it.
+keep the vSwitch congestion control consistent through all of it.  The
+injectors come from :mod:`repro.faults`, so the same seeded machinery
+the chaos experiment sweeps is exercised here at unit scale.
 """
 
-import random
-
 from repro.core import AcdcConfig, AcdcVswitch
+from repro.faults import PacketLoss, install_faults, is_data, is_pure_ack
 from repro.workloads.apps import Sink
-
-
-class AckLossInjector:
-    """Drops a fraction of pure ACKs on ingress (post-switch, pre-AC/DC
-    would be unrealistic — this wraps the wire side by dropping egress
-    ACKs at the receiver host)."""
-
-    def __init__(self, inner, drop_p, seed):
-        self.inner = inner
-        self.rng = random.Random(seed)
-        self.drop_p = drop_p
-
-    def egress(self, pkt):
-        out = self.inner.egress(pkt)
-        if out is None:
-            return None
-        if (out.payload_len == 0 and out.ack and not out.syn
-                and self.rng.random() < self.drop_p):
-            return None
-        return out
-
-    def ingress(self, pkt):
-        return self.inner.ingress(pkt)
 
 
 def test_feedback_survives_ack_loss(three_hosts):
@@ -41,7 +19,9 @@ def test_feedback_survives_ack_loss(three_hosts):
     vsw_a = AcdcVswitch(a)
     vsw_b = AcdcVswitch(b)
     inner_c = AcdcVswitch(c)
-    c.attach_vswitch(AckLossInjector(inner_c, drop_p=0.2, seed=1))
+    # Drop egress pure ACKs at the receiver host, wire side of AC/DC.
+    install_faults(c, [PacketLoss(0.2, seed=1, direction="egress",
+                                  match=is_pure_ack)], inner=inner_c)
     a.attach_vswitch(vsw_a)
     b.attach_vswitch(vsw_b)
     Sink(c, 7000)
@@ -67,24 +47,10 @@ def test_acdc_flow_recovers_from_data_loss(three_hosts):
     """Window inference survives real loss: dupack detection in the
     vSwitch cuts the window (loss branch of Fig. 5)."""
     sim, topo, a, b, c, sw = three_hosts
-
-    class DataLoss:
-        def __init__(self, inner):
-            self.inner = inner
-            self.rng = random.Random(7)
-
-        def egress(self, pkt):
-            out = self.inner.egress(pkt)
-            if out is not None and out.payload_len > 0 \
-                    and self.rng.random() < 0.02:
-                return None
-            return out
-
-        def ingress(self, pkt):
-            return self.inner.ingress(pkt)
-
     vsw_a = AcdcVswitch(a)
-    a.attach_vswitch(DataLoss(vsw_a))
+    pipeline = install_faults(
+        a, [PacketLoss(0.02, seed=7, direction="egress", match=is_data)],
+        inner=vsw_a)
     for host in (b, c):
         host.attach_vswitch(AcdcVswitch(host))
     Sink(c, 7000)
@@ -92,6 +58,7 @@ def test_acdc_flow_recovers_from_data_loss(three_hosts):
     conn.send(2_000_000)
     sim.run(until=1.0)
     assert conn.bytes_acked_total == 2_000_000
+    assert pipeline.recorder.counts["loss"] > 0
     entry = vsw_a.table.entries[conn.key()]
     assert entry.vswitch_cc.loss_events > 0  # Fig. 5 loss branch taken
 

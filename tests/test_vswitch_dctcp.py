@@ -63,7 +63,10 @@ def test_cut_at_most_once_per_window():
     cc = make()
     cc.wnd = 100.0 * MSS
     cc.alpha = 0.5
-    cc.alpha_update_seq = 1 << 40  # freeze alpha for this test
+    # Freeze alpha: park the gate serially ahead of every snd_una used
+    # here, and mark the gates seeded so on_ack doesn't re-anchor them.
+    cc.alpha_update_seq = 1 << 30
+    cc._gates_seeded = True
     cc.on_ack(0, 100 * MSS, 0, MSS, MSS, loss=False)
     after_first = cc.window_bytes
     assert after_first == int(100 * MSS * 0.75)
@@ -79,7 +82,8 @@ def test_priority_beta_modulates_cut():
     for cc in (full, weak):
         cc.wnd = 100.0 * MSS
         cc.alpha = 0.4
-        cc.alpha_update_seq = 1 << 40  # freeze alpha for this test
+        cc.alpha_update_seq = 1 << 30  # freeze alpha (serially ahead)
+        cc._gates_seeded = True
         cc.on_ack(0, 100 * MSS, 0, MSS, MSS, loss=False)
     assert full.window_bytes == int(100 * MSS * (1 - 0.2))
     assert weak.window_bytes == int(100 * MSS * (1 - 0.4))
@@ -98,7 +102,8 @@ def test_loss_saturates_alpha_and_cuts():
 def test_timeout_forces_cut_even_mid_window():
     cc = make()
     cc.wnd = 80.0 * MSS
-    cc.cut_seq = 1 << 40  # pretend we just cut
+    cc.cut_seq = 1 << 30  # pretend we just cut (gate serially ahead)
+    cc._gates_seeded = True
     wnd = cc.on_timeout(snd_una=0, snd_nxt=80 * MSS)
     assert wnd == 40 * MSS
     assert cc.alpha == ALPHA_MAX
