@@ -72,6 +72,7 @@ class AcdcVswitch:
         policy: Optional[PolicyEngine] = None,
         ops: Optional[OpsCounter] = None,
         window_cb: Optional[WindowCallback] = None,
+        guard=None,
     ):
         self.sim = host.sim
         self.host = host
@@ -87,6 +88,11 @@ class AcdcVswitch:
         )
         self.table.start_gc()
         self.policer = Policer(self.config.policing_slack_segments)
+        # Adversarial-tenant protection (repro.guard.Guard, optional):
+        # conformance monitoring, escalation, watchdog load shedding.
+        self.guard = guard
+        if guard is not None:
+            guard.attach(self)
         # Fault-recovery accounting (see repro.faults): state losses this
         # vSwitch suffered and flow entries rebuilt mid-flow afterwards.
         self.restarts = 0
@@ -194,15 +200,22 @@ class AcdcVswitch:
             return pkt
         entry.conntrack.on_egress_data(pkt)
         self.ops.record("seq_update")
+        if entry.shed:
+            # Watchdog pass-through: stats above still collected, but no
+            # marking, guarding or policing — the guest stack is on its own.
+            return pkt
         if mark_egress_data(pkt):
             self.ops.record("ecn_mark")
             self.ops.record("checksum_recalc")
         entry.vm_ect = pkt.vm_ect
+        if self.guard is not None and not self.guard.on_egress_data(entry, pkt):
+            return None
         if self.config.police:
             self.ops.record("policing_check")
             snd_una = entry.conntrack.snd_una
             base = snd_una if snd_una is not None else pkt.seq
-            if not self.policer.allow(pkt, base, entry.enforced_wnd, self.mss):
+            if not self.policer.allow(pkt, base, entry.enforced_wnd, self.mss,
+                                      wscale=entry.peer_wscale):
                 return None
         self._arm_inactivity(entry)
         return pkt
@@ -279,6 +292,11 @@ class AcdcVswitch:
         if pkt.pack is not None:
             self.ops.record("feedback_extract")
             pkt.pack = None  # stripped before the VM can see it
+        if entry.shed:
+            # Watchdog pass-through: no CC, no rewrite, no ECN hiding —
+            # the VM sees its own feedback and its stack takes over.
+            # FACKs are still consumed (they are vSwitch-to-vSwitch).
+            return bool(pkt.is_fack)
         cc = entry.vswitch_cc
         wnd = cc.on_ack(
             snd_una=entry.conntrack.snd_una or 0,
@@ -292,6 +310,9 @@ class AcdcVswitch:
         entry.enforced_wnd = wnd
         if self.window_cb is not None:
             self.window_cb(entry.key, self.sim.now, wnd)
+        if self.guard is not None:
+            self.guard.on_ingress_ack(entry, pkt, verdict,
+                                      total_delta, marked_delta)
         if pkt.is_fack:
             return True  # dropped after logging the data (§3.2)
         if self.config.enforce and not self.config.log_only:
@@ -328,6 +349,8 @@ class AcdcVswitch:
             return
         entry.receiver_feedback.on_data(pkt)
         self.ops.record("counters_update")
+        if entry.shed:
+            return  # pass-through: the VM keeps its CE marks
         if self.config.log_only or not self.config.hide_ecn:
             # The VM keeps its CE marks: log-only mode (Fig. 9) or the
             # hide-ECN ablation, where the guest reacts on its own too.
@@ -359,6 +382,8 @@ class AcdcVswitch:
             entry.enforced_wnd = wnd
             if self.window_cb is not None:
                 self.window_cb(entry.key, self.sim.now, wnd)
+            if self.guard is not None and not entry.shed:
+                self.guard.on_timeout(entry)
             if self.config.proactive_window_updates:
                 # No ACKs are flowing to carry the new window, so tell
                 # the VM directly (§3.3's fabricated window update).
@@ -378,6 +403,9 @@ class AcdcVswitch:
         update = WindowEnforcer.make_window_update(
             (key[2], key[3], key[0], key[1]),
             entry.conntrack.snd_una, entry.enforced_wnd, entry.peer_wscale)
+        if self.guard is not None:
+            self.guard.note_advertisement(entry, entry.conntrack.snd_una,
+                                          entry.enforced_wnd)
         self.host.deliver(update)
         return True
 
@@ -387,6 +415,9 @@ class AcdcVswitch:
         entry = self.table.lookup(key)
         if entry is None or entry.conntrack.snd_una is None:
             return False
+        if self.guard is not None:
+            self.guard.note_advertisement(entry, entry.conntrack.snd_una,
+                                          entry.enforced_wnd)
         for _ in range(count):
             dup = WindowEnforcer.make_dupack(
                 (key[2], key[3], key[0], key[1]),

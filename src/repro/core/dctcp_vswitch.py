@@ -35,6 +35,8 @@ INITIAL_WINDOW_SEGMENTS = 10   # RFC 6928, §3.1 of the paper
 class VswitchDctcp:
     """Per-flow DCTCP state machine run by the AC/DC sender module."""
 
+    name = "dctcp"
+
     def __init__(
         self,
         mss: int,

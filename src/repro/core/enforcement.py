@@ -19,7 +19,7 @@ duplicate ACKs (the flexibility §3.3 describes).
 
 from __future__ import annotations
 
-from ..net.packet import Packet, seq_add, seq_leq
+from ..net.packet import Packet, SEQ_HALF, SEQ_MASK
 
 
 class WindowEnforcer:
@@ -63,6 +63,20 @@ class WindowEnforcer:
         return pkt
 
 
+def encoded_window_bytes(window_bytes: int, wscale: int) -> int:
+    """The window the VM actually sees after 16-bit/wscale encoding.
+
+    Mirrors :meth:`Packet.set_advertised_window`: the field is rounded
+    *up* to the next scale unit (never a downward lie), then clamped to
+    the 16-bit ceiling.  A conforming stack is bound by this value, not
+    by the raw computed window — the policer must use the same edge.
+    """
+    if window_bytes < 0:
+        raise ValueError(f"negative window {window_bytes!r}")
+    unit = 1 << wscale
+    return min(0xFFFF, (window_bytes + unit - 1) >> wscale) << wscale
+
+
 class Policer:
     """Drops egress data a non-conforming stack sends beyond the window."""
 
@@ -72,15 +86,30 @@ class Policer:
         self.slack_segments = slack_segments
         self.drops = 0
 
-    def allow(self, pkt: Packet, snd_una: int, window_bytes: int, mss: int) -> bool:
+    def allow(self, pkt: Packet, snd_una: int, window_bytes: int, mss: int,
+              wscale: int = 0) -> bool:
         """True if the data packet fits within the enforced window.
 
         The slack absorbs the legitimate cases where a conforming stack
-        momentarily exceeds the window (sub-MSS windows rounded up to one
-        segment, window shrinkage racing packets already in the stack).
+        momentarily exceeds the window (window shrinkage racing packets
+        already in the stack); independent of slack, the budget uses the
+        *encoded* window — enforcement rounds the 16-bit field up to the
+        next ``wscale`` unit, so a stack honouring the advertisement may
+        legitimately sit up to ``2**wscale - 1`` bytes past the raw
+        computed window.  A zero window always admits a one-byte probe
+        (dropping probes would deadlock a conforming zero-window flow).
+
+        Sequence space is circular: the segment's distance ahead of
+        ``snd_una`` is taken mod 2^32, the budget's worth is in-window,
+        and the back half of the space counts as retransmission territory
+        — so the check survives flows that wrap 2^32 mid-transfer.
         """
-        limit = seq_add(snd_una, window_bytes + self.slack_segments * mss)
-        if seq_leq(pkt.end_seq, limit):
+        budget = (encoded_window_bytes(window_bytes, wscale)
+                  + self.slack_segments * mss)
+        if window_bytes == 0:
+            budget = max(budget, 1)
+        ahead = (pkt.end_seq - snd_una) & SEQ_MASK
+        if ahead <= budget or ahead >= budget + SEQ_HALF:
             return True
         self.drops += 1
         return False

@@ -40,7 +40,7 @@ class FlowEntry:
         "key", "policy", "created_at", "last_active",
         "conntrack", "vswitch_cc", "enforcer", "feedback_reader",
         "receiver_feedback", "peer_wscale", "vm_ect", "fin_seen",
-        "inactivity_timer", "enforced_wnd",
+        "inactivity_timer", "enforced_wnd", "shed", "guard_state",
     )
 
     def __init__(self, key: FlowKey, policy: FlowPolicy, now: float, mss: int):
@@ -65,6 +65,10 @@ class FlowEntry:
         self.vm_ect = False
         self.fin_seen = False
         self.inactivity_timer: Optional[Timer] = None
+        # Guard state (repro.guard): watchdog pass-through flag and the
+        # per-flow conformance record, attached lazily by the Guard.
+        self.shed = False
+        self.guard_state = None
 
     def touch(self, now: float) -> None:
         self.last_active = now

@@ -63,6 +63,20 @@ class PolicyEngine:
         """Append a rule; earlier rules win."""
         self._rules.append((matcher, policy))
 
+    def insert_rule(self, matcher: Matcher, policy: FlowPolicy) -> None:
+        """Prepend a rule so it takes precedence over everything existing
+        (used by the guard's penalty clamps, which must override even an
+        administrator rule for the same flow)."""
+        self._rules.insert(0, (matcher, policy))
+
+    def remove_rule(self, matcher: Matcher) -> bool:
+        """Remove the rule registered under this exact matcher object."""
+        for i, (m, _) in enumerate(self._rules):
+            if m is matcher:
+                del self._rules[i]
+                return True
+        return False
+
     def policy_for(self, key: FlowKey) -> FlowPolicy:
         for matcher, policy in self._rules:
             if matcher(key):
@@ -81,6 +95,11 @@ class PolicyEngine:
     @staticmethod
     def match_dport(dport: int) -> Matcher:
         return lambda key: key[3] == dport
+
+    @staticmethod
+    def match_flow(flow: FlowKey) -> Matcher:
+        """Exact 5-tuple match (per-flow penalty rules)."""
+        return lambda key: key == flow
 
     @staticmethod
     def match_dst_prefix(prefix: str) -> Matcher:

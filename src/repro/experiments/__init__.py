@@ -7,6 +7,8 @@ rows via :mod:`repro.experiments.report`.
 
 from . import (
     ablations,
+    adversarial,
+    chaos,
     common,
     fig01_heterogeneous_unfairness,
     fig02_rate_limiting_insufficient,
@@ -38,6 +40,8 @@ __all__ = [
     "DCTCP",
     "Scheme",
     "ablations",
+    "adversarial",
+    "chaos",
     "common",
     "fig01_heterogeneous_unfairness",
     "fig02_rate_limiting_insufficient",

@@ -19,6 +19,7 @@ import sys
 
 from . import (
     ablations,
+    adversarial,
     chaos,
     fig01_heterogeneous_unfairness,
     fig02_rate_limiting_insufficient,
@@ -60,6 +61,7 @@ EXPERIMENTS = {
     "fig22": fig22_shuffle.run,
     "fig23": fig23_trace_driven.run,
     "chaos": chaos.run,
+    "adversarial": adversarial.run,
     "ablation-policing": ablations.run_policing,
     "ablation-feedback": ablations.run_feedback_modes,
     "ablation-ecn-hiding": ablations.run_ecn_hiding,
@@ -96,6 +98,9 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="dump full structured results as JSON")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scale (CI smoke runs); only honoured "
+                             "by experiments with a quick mode")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -107,8 +112,11 @@ def main(argv=None) -> int:
         print(f"unknown experiment {args.experiment!r}; "
               f"try: python -m repro.experiments list", file=sys.stderr)
         return 2
+    kwargs = {"seed": args.seed}
+    if args.quick:
+        kwargs["quick"] = True
     try:
-        result = run(seed=args.seed)
+        result = run(**kwargs)
     except TypeError:
         result = run()
     if args.json:

@@ -1,0 +1,221 @@
+"""Adversarial-tenant experiment: guard on/off under misbehaving guests.
+
+Not a paper figure — the paper's §3.3 policing assumes the administrator
+*knows* which flows misbehave; this experiment measures what the
+:mod:`repro.guard` subsystem does when nobody tells it.  A star of
+senders shares one receiver link; a fraction of the senders cheat
+(``ignore_rwnd`` guests that disregard the enforced window, the §5.4
+threat model), and we sweep the violator share with the guard enabled
+and disabled.  The claims under test:
+
+* **without** the guard, conforming tenants collapse: the cheaters'
+  self-clocked CUBIC overruns the enforced window, fills the shared
+  queue, and the vSwitch DCTCP dutifully shrinks *everyone's* window;
+* **with** the guard, conforming flows retain most of their fair share:
+  cheaters are detected from windowed violation rates and walked up the
+  escalation ladder (slack-free policing → penalty clamp → quarantine);
+* detection-only adversaries (ECN bleaching, ACK division,
+  option-stripping middleboxes) are surfaced as guard events, and
+  feedback loss degrades the flow to local-signal CC instead of
+  silently starving DCTCP;
+* the whole transition history is deterministic under a fixed seed
+  (asserted via :meth:`~repro.metrics.EventLog.signature`).
+
+``run_pressure`` exercises the datapath watchdog separately: a
+flow-table budget far below the offered flow count forces deliberate
+lowest-priority-first load shedding, and traffic keeps flowing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import AcdcConfig
+from ..faults import EcnBleach, OptionStrip, install_faults
+from ..guard import Guard, GuardConfig
+from ..metrics import EventLog, FaultRecorder, jain_index
+from ..net.topology import star
+from ..sim import Simulator
+from ..workloads.apps import BulkSender, Sink
+from .common import ACDC, MACRO_RATE, attach_vswitches, switch_opts
+
+DATA_PORT = 6000
+
+#: Supported adversary models (see run_point).
+ADVERSARIES = ("ignore_rwnd", "ack_division", "ecn_bleach", "option_strip")
+
+
+def _guard_config(seed: int) -> GuardConfig:
+    """Guard tuning for short simulated runs: react within a few RTTs,
+    decay an order of magnitude slower than detection."""
+    return GuardConfig(window_packets=32, clean_windows=3,
+                       decay_base_s=0.02, seed=seed)
+
+
+def run_point(
+    violator_share: float,
+    guard_on: bool,
+    seed: int = 0,
+    n_senders: int = 8,
+    duration: float = 0.2,
+    adversary: str = "ignore_rwnd",
+) -> dict:
+    """One cell: ``n_senders`` bulk flows into one receiver, a
+    ``violator_share`` fraction of them running the given adversary."""
+    if adversary not in ADVERSARIES:
+        raise ValueError(f"unknown adversary {adversary!r}")
+    sim = Simulator()
+    topo, hosts, switch = star(sim, n_senders + 1, rate_bps=MACRO_RATE,
+                               mtu=1500, seed=seed,
+                               **switch_opts(ACDC, MACRO_RATE))
+    senders, receiver = hosts[:n_senders], hosts[-1]
+    n_violators = int(round(violator_share * n_senders))
+    violators = senders[:n_violators]
+    violator_addrs = {h.addr for h in violators}
+
+    events = EventLog()
+    recorder = FaultRecorder()
+    guards: List[Guard] = []
+
+    def guard_factory(host) -> Optional[Guard]:
+        if not guard_on:
+            return None
+        guard = Guard(_guard_config(seed), recorder=recorder, events=events)
+        guards.append(guard)
+        return guard
+
+    vswitches = attach_vswitches(ACDC, hosts, acdc_config=AcdcConfig(),
+                                 guard_factory=guard_factory)
+
+    # Guest-level adversaries are tenant profiles; wire-level ones are
+    # fault stages scoped to the violators' traffic.
+    if adversary == "ignore_rwnd":
+        for host in violators:
+            host.set_tenant_profile(ignore_rwnd=True)
+    elif adversary == "ecn_bleach" and violators:
+        # CE cleared before the receiver vSwitch can count it.
+        install_faults(receiver, [EcnBleach(
+            direction="ingress",
+            match=lambda p: p.src in violator_addrs and p.payload_len > 0)])
+    elif adversary == "option_strip" and violators:
+        # Feedback options never reach the violators' sender vSwitches.
+        for host in violators:
+            install_faults(host, [OptionStrip(direction="ingress")])
+
+    opts = ACDC.conn_opts()
+    flows = []
+    for i, host in enumerate(senders):
+        sink_opts = dict(opts)
+        if adversary == "ack_division" and host.addr in violator_addrs:
+            # ACK division is a receiver-side cheat: the adversarial
+            # tenant's receiving VM splits cumulative ACKs to inflate its
+            # own flows' window growth.
+            sink_opts["ack_division"] = 8
+        Sink(receiver, DATA_PORT + i, **sink_opts)
+        flows.append(BulkSender(sim, host, receiver.addr, DATA_PORT + i,
+                                size_bytes=None, conn_opts=dict(opts)))
+    sim.run(until=duration)
+
+    goodputs = [f.goodput_bps(duration) for f in flows]
+    conforming = [g for f, g in zip(flows, goodputs)
+                  if f.host.addr not in violator_addrs]
+    violating = [g for f, g in zip(flows, goodputs)
+                 if f.host.addr in violator_addrs]
+    fair_share = MACRO_RATE / n_senders
+    result = {
+        "adversary": adversary,
+        "violator_share": violator_share,
+        "guard": guard_on,
+        "goodputs_bps": goodputs,
+        "conforming_mean_bps": (sum(conforming) / len(conforming)
+                                if conforming else 0.0),
+        "violating_mean_bps": (sum(violating) / len(violating)
+                               if violating else 0.0),
+        "conforming_retention": (sum(conforming) / len(conforming) / fair_share
+                                 if conforming else 0.0),
+        "jain": jain_index(goodputs),
+        "guard_events": recorder.snapshot(),
+        "event_signature": events.signature(),
+    }
+    if guard_on:
+        result["police_drops"] = sum(g.police_drops for g in guards)
+        result["quarantine_drops"] = sum(g.quarantine_drops for g in guards)
+        result["fallbacks"] = sum(g.fallbacks for g in guards)
+        result["final_levels"] = sorted(
+            (str(e.key), e.guard_state.level, e.guard_state.state)
+            for v in vswitches.values() if hasattr(v, "table")
+            for e in v.table if e.guard_state is not None
+            and (e.guard_state.level > 0 or e.guard_state.total_violations))
+    return result
+
+
+def run_pressure(seed: int = 0, n_senders: int = 8,
+                 duration: float = 0.1) -> dict:
+    """Watchdog scenario: the receiver vSwitch's flow-table budget is far
+    below the offered 2 x n_senders entries, forcing deliberate shedding."""
+    sim = Simulator()
+    topo, hosts, switch = star(sim, n_senders + 1, rate_bps=MACRO_RATE,
+                               mtu=1500, seed=seed,
+                               **switch_opts(ACDC, MACRO_RATE))
+    senders, receiver = hosts[:n_senders], hosts[-1]
+    events = EventLog()
+    recorder = FaultRecorder()
+    guards: Dict[str, Guard] = {}
+
+    def guard_factory(host):
+        config = _guard_config(seed)
+        if host is receiver:
+            # Room for half the offered load: ~2 entries per connection.
+            config.max_flow_entries = n_senders
+            config.watchdog_interval_s = 0.005
+        guard = Guard(config, recorder=recorder, events=events)
+        guards[host.addr] = guard
+        return guard
+
+    vswitches = attach_vswitches(ACDC, hosts, acdc_config=AcdcConfig(),
+                                 guard_factory=guard_factory)
+    opts = ACDC.conn_opts()
+    flows = []
+    for i, host in enumerate(senders):
+        Sink(receiver, DATA_PORT + i, **opts)
+        flows.append(BulkSender(sim, host, receiver.addr, DATA_PORT + i,
+                                size_bytes=None, conn_opts=dict(opts)))
+    sim.run(until=duration)
+    watchdog = guards[receiver.addr].watchdog
+    goodputs = [f.goodput_bps(duration) for f in flows]
+    return {
+        "n_senders": n_senders,
+        "sheds": watchdog.sheds if watchdog is not None else 0,
+        "unsheds": watchdog.unsheds if watchdog is not None else 0,
+        "shed_entries": sum(1 for e in vswitches[receiver.addr].table
+                            if e.shed),
+        "goodputs_bps": goodputs,
+        "total_goodput_bps": sum(goodputs),
+        "guard_events": recorder.snapshot(),
+        "event_signature": events.signature(),
+    }
+
+
+def run(seed: int = 0, quick: bool = False) -> Dict[str, object]:
+    """Full sweep: violator share x guard on/off, detection-only
+    adversaries at 25% share, and the watchdog pressure scenario."""
+    n_senders = 4 if quick else 8
+    duration = 0.06 if quick else 0.2
+    shares = (0.0, 0.25) if quick else (0.0, 0.25, 0.5)
+    sweep = {}
+    for share in shares:
+        for guard_on in (False, True):
+            point = run_point(share, guard_on, seed=seed,
+                              n_senders=n_senders, duration=duration)
+            sweep[f"share={share:g},guard={'on' if guard_on else 'off'}"] = point
+    detection = {
+        adversary: run_point(0.25, True, seed=seed, n_senders=n_senders,
+                             duration=duration, adversary=adversary)
+        for adversary in ("ecn_bleach", "ack_division", "option_strip")
+    }
+    return {
+        "sweep": sweep,
+        "detection": detection,
+        "pressure": run_pressure(seed=seed, n_senders=n_senders,
+                                 duration=min(duration, 0.1)),
+    }

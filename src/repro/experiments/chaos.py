@@ -121,8 +121,16 @@ def run_point(scheme: Scheme, intensity: float, seed: int = 0,
 
 
 def run(seed: int = 0, size_bytes: int = 4_000_000, duration: float = 0.5,
-        intensities: Sequence[float] = (0.0, 0.01, 0.02, 0.05)) -> Dict[str, list]:
-    """Sweep fault intensity for every scheme; returns per-scheme curves."""
+        intensities: Sequence[float] = (0.0, 0.01, 0.02, 0.05),
+        quick: bool = False) -> Dict[str, list]:
+    """Sweep fault intensity for every scheme; returns per-scheme curves.
+
+    ``quick`` shrinks the transfers and the sweep for CI smoke runs.
+    """
+    if quick:
+        size_bytes = min(size_bytes, 1_000_000)
+        duration = min(duration, 0.2)
+        intensities = intensities[:2]
     return {
         scheme.name: [run_point(scheme, intensity, seed=seed,
                                 size_bytes=size_bytes, duration=duration)

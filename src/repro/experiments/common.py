@@ -65,8 +65,13 @@ def attach_vswitches(
     acdc_config: Optional[AcdcConfig] = None,
     policy: Optional[PolicyEngine] = None,
     window_cb=None,
+    guard_factory=None,
 ) -> Dict[str, object]:
     """Instantiate the scheme's datapath on every host.
+
+    ``guard_factory``, if given, is called per AC/DC host and returns a
+    fresh :class:`repro.guard.Guard` (or None) to attach to that host's
+    vSwitch — a Guard binds to exactly one datapath.
 
     Returns ``{host addr: vswitch}`` so experiments can read flow tables,
     op counters and enforcement stats afterwards.
@@ -75,8 +80,10 @@ def attach_vswitches(
     for host in hosts:
         if scheme.vswitch == "acdc":
             config = acdc_config if acdc_config is not None else AcdcConfig()
+            guard = guard_factory(host) if guard_factory is not None else None
             vsw = AcdcVswitch(host, config=config, policy=policy,
-                              ops=OpsCounter(), window_cb=window_cb)
+                              ops=OpsCounter(), window_cb=window_cb,
+                              guard=guard)
         else:
             vsw = PlainOvs(host, ops=OpsCounter())
         host.attach_vswitch(vsw)

@@ -17,7 +17,12 @@ datapath knowing it is being tortured:
   matching is dropped;
 * :class:`VswitchRestart` — wipes the wrapped AC/DC datapath's flow
   table mid-run (the recovery path under test in §4's soft-state
-  design).
+  design);
+* :class:`EcnBleach` — rewrites CE marks back to ECT before the
+  receiver module counts them (adversarial receiver / broken middlebox);
+* :class:`OptionStrip` — removes PACK/FACK feedback options in transit
+  (option-dropping middlebox; exercises the guard's feedback-loss
+  fallback).
 
 Faults are composed into a :class:`FaultyDatapath` pipeline via
 :func:`install_faults`; every injector draws from its own named stream
@@ -30,9 +35,11 @@ from .injectors import (
     Corruption,
     DelayJitter,
     Duplication,
+    EcnBleach,
     Fault,
     FaultyDatapath,
     LinkFlap,
+    OptionStrip,
     PacketLoss,
     Reordering,
     Transparent,
@@ -46,9 +53,11 @@ __all__ = [
     "Corruption",
     "DelayJitter",
     "Duplication",
+    "EcnBleach",
     "Fault",
     "FaultyDatapath",
     "LinkFlap",
+    "OptionStrip",
     "PacketLoss",
     "Reordering",
     "Transparent",

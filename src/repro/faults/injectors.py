@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..metrics.collectors import FaultRecorder
-from ..net.packet import Packet
+from ..net.packet import ECN_ECT0, Packet
 from ..sim.rng import RngFactory
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -256,6 +256,64 @@ class LinkFlap(Fault):
             self.events += 1
             pipeline.record(self.kind)
             return None
+        return pkt
+
+
+class EcnBleach(Fault):
+    """Rewrite CE back to ECT on matching packets (adversarial model).
+
+    Models a receiver-side tenant or broken middlebox that clears
+    congestion-experienced marks before AC/DC's receiver module can count
+    them: the feedback channel keeps reporting total bytes but never a
+    marked byte, so DCTCP in the sender vSwitch sees a congestion-free
+    network while queues overflow.  The sender guard's bleach heuristic
+    (losses with zero marked feedback) exists for exactly this.
+    """
+
+    kind = "ecn_bleach"
+
+    def __init__(self, rate: float = 1.0, seed: int = 0,
+                 direction: str = "ingress",
+                 match: Optional[Matcher] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("bleach rate must be in [0, 1]")
+        super().__init__(seed, direction, match)
+        self.rate = rate
+
+    def process(self, pkt, pipeline, index, direction):
+        if pkt.ce and (self.rate >= 1.0 or self.rng.random() < self.rate):
+            self.events += 1
+            pipeline.record(self.kind)
+            pkt.ecn = ECN_ECT0
+        return pkt
+
+
+class OptionStrip(Fault):
+    """Remove the PACK feedback option from matching packets.
+
+    Models a middlebox that drops unknown TCP options: the sender vSwitch
+    keeps seeing ACKs but never a feedback report, starving its DCTCP of
+    the total/marked counters.  Dedicated FACK packets lose their option
+    too and arrive as bare duplicate ACKs.  The guard's feedback-loss
+    fallback degrades affected flows to local-signal-only CC.
+    """
+
+    kind = "option_strip"
+
+    def __init__(self, rate: float = 1.0, seed: int = 0,
+                 direction: str = "both", match: Optional[Matcher] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("strip rate must be in [0, 1]")
+        super().__init__(seed, direction, match)
+        self.rate = rate
+
+    def process(self, pkt, pipeline, index, direction):
+        if (pkt.pack is not None
+                and (self.rate >= 1.0 or self.rng.random() < self.rate)):
+            self.events += 1
+            pipeline.record(self.kind)
+            pkt.pack = None
+            pkt.is_fack = False  # without its option it is just a dupack
         return pkt
 
 

@@ -1,0 +1,208 @@
+"""The Guard facade: wires monitoring, escalation, fallback and the
+watchdog into one object the :class:`~repro.core.acdc.AcdcVswitch`
+drives from its datapath hooks.
+
+Datapath contract (see ``AcdcVswitch._egress_data`` / ``_ingress_ack``):
+
+* :meth:`on_egress_data` is called for every enforced, non-shed egress
+  data packet after conntrack/marking and *before* the config policer;
+  returning ``False`` drops the packet (slack-free policing at level ≥ 1,
+  token-bucket quarantine at level 3).
+* :meth:`on_ingress_ack` is called after the vSwitch CC update with the
+  conntrack verdict and the feedback deltas; it never consumes the ACK,
+  only updates conformance state and may swap the flow to the
+  feedback-loss fallback CC.
+
+All transitions are recorded twice: per-cause counts in a
+:class:`~repro.metrics.collectors.FaultRecorder` (cheap assertions) and
+the full ordered sequence in an
+:class:`~repro.metrics.collectors.EventLog` (determinism signatures,
+audit trail).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.enforcement import encoded_window_bytes
+from ..core.vswitch_cc import make_vswitch_cc
+from ..metrics.collectors import EventLog, FaultRecorder
+from ..sim.rng import RngFactory
+from .config import GuardConfig
+from .escalation import EscalationEngine
+from .monitor import (
+    ANOMALY_ACK_DIVISION,
+    ANOMALY_BLEACH,
+    ANOMALY_FEEDBACK_LOSS,
+    CLEAN,
+    SUSPECT,
+    VIOLATOR,
+    ConformanceMonitor,
+    FlowConformance,
+)
+from .watchdog import DatapathWatchdog
+
+
+class Guard:
+    """Adversarial-tenant protection for one AC/DC vSwitch."""
+
+    def __init__(self, config: Optional[GuardConfig] = None,
+                 recorder: Optional[FaultRecorder] = None,
+                 events: Optional[EventLog] = None):
+        self.config = config if config is not None else GuardConfig()
+        self.recorder = recorder if recorder is not None else FaultRecorder()
+        self.events = events if events is not None else EventLog()
+        self._rngs = RngFactory(self.config.seed)
+        # Bound at attach() time.
+        self.vswitch = None
+        self.sim = None
+        self.mss = 0
+        self.monitor: Optional[ConformanceMonitor] = None
+        self.escalation: Optional[EscalationEngine] = None
+        self.watchdog: Optional[DatapathWatchdog] = None
+        self.police_drops = 0
+        self.quarantine_drops = 0
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, vswitch) -> None:
+        if self.vswitch is not None:
+            raise RuntimeError("guard is already attached to a vSwitch")
+        self.vswitch = vswitch
+        self.sim = vswitch.sim
+        self.mss = vswitch.mss
+        self.monitor = ConformanceMonitor(self.config, self.mss)
+        self.escalation = EscalationEngine(
+            self.config, self.mss, vswitch.policy, self._notify)
+        if (self.config.watchdog_interval_s is not None
+                and (self.config.max_flow_entries is not None
+                     or self.config.max_ops_per_packet is not None)):
+            self.watchdog = DatapathWatchdog(self.config, vswitch,
+                                             self._notify)
+            self.watchdog.start()
+
+    def _notify(self, kind: str, entry, **detail) -> None:
+        self.recorder.record(kind)
+        self.events.record(self.sim.now, kind, flow=entry.key, **detail)
+
+    def conformance(self, entry) -> FlowConformance:
+        if entry.guard_state is None:
+            entry.guard_state = FlowConformance(
+                self._rngs.stream(f"guard:{entry.key}"))
+        return entry.guard_state
+
+    def state_of(self, key) -> Optional[FlowConformance]:
+        """Introspection: the conformance state for a flow key, if any."""
+        entry = self.vswitch.table.entries.get(key)
+        return entry.guard_state if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # Datapath hooks
+    # ------------------------------------------------------------------
+    def on_egress_data(self, entry, pkt) -> bool:
+        """Monitor + enforce one egress data packet; False = drop."""
+        fc = self.conformance(entry)
+        now = self.sim.now
+        violation, strict_overrun = self.monitor.observe_egress(
+            fc, entry, pkt)
+        grade = self.monitor.close_window(fc)
+        if grade == VIOLATOR:
+            self.escalation.escalate(entry, fc, floor=2, now=now,
+                                     reason="rwnd_violation_rate")
+        elif grade == SUSPECT:
+            self.escalation.escalate(entry, fc, floor=1, now=now,
+                                     reason="rwnd_violation_rate")
+        elif grade == CLEAN:
+            self.escalation.note_clean_window(entry, fc, now)
+        if fc.level >= 1 and strict_overrun > 0:
+            # Slack-free policing: the grace the config policer extends to
+            # conforming stacks is withdrawn from suspects.
+            self.vswitch.ops.record("policing_check")
+            self.police_drops += 1
+            self._notify("guard_police_drop", entry,
+                         overrun_bytes=strict_overrun, level=fc.level)
+            return False
+        if fc.level >= 3 and fc.bucket is not None:
+            if not fc.bucket.consume(pkt.payload_len, now):
+                self.quarantine_drops += 1
+                self._notify("guard_quarantine_drop", entry, level=fc.level)
+                return False
+        return True
+
+    def on_ingress_ack(self, entry, pkt, verdict, total_delta: int,
+                       marked_delta: int) -> None:
+        """Feed ACK-side signals into the monitor; may trigger fallback."""
+        fc = self.conformance(entry)
+        now = self.sim.now
+        if not pkt.is_fack:
+            # Track the window edge the VM is about to see.  This hook
+            # runs before the enforcer rewrites the ACK, but the rewrite
+            # only ever shrinks, so the guest-visible window is the min
+            # of the original advertisement and the encoded enforced one.
+            visible = pkt.advertised_window(entry.peer_wscale)
+            cfg = self.vswitch.config
+            if cfg.enforce and not cfg.log_only:
+                visible = min(visible, encoded_window_bytes(
+                    entry.enforced_wnd, entry.peer_wscale))
+            self.monitor.note_advertisement(fc, pkt.ack_seq, visible)
+        for anomaly in self.monitor.observe_ack(fc, verdict, total_delta,
+                                                marked_delta):
+            if anomaly == ANOMALY_FEEDBACK_LOSS:
+                self._feedback_fallback(entry, fc)
+            elif anomaly == ANOMALY_BLEACH:
+                # Bleaching defeats marking itself, so policing the RWND
+                # is toothless — only the penalty clamp (level 2) caps
+                # what the mark-blind vSwitch CC can grow.
+                self.escalation.escalate(entry, fc, floor=2, now=now,
+                                         reason=anomaly)
+            elif anomaly == ANOMALY_ACK_DIVISION:
+                self.escalation.escalate(entry, fc, floor=1, now=now,
+                                         reason=anomaly)
+
+    def on_timeout(self, entry) -> None:
+        """Inferred-RTO hook: a congestion-loss signal that never rides
+        an ACK, fed to the bleach detector."""
+        fc = self.conformance(entry)
+        for anomaly in self.monitor.observe_timeout(fc):
+            self.escalation.escalate(entry, fc, floor=2, now=self.sim.now,
+                                     reason=anomaly)
+
+    def note_advertisement(self, entry, ack_seq: int,
+                           window_bytes: int) -> None:
+        """Record a window edge delivered to the VM outside the ACK path
+        (fabricated window updates / dupacks, §3.3)."""
+        fc = self.conformance(entry)
+        self.monitor.note_advertisement(
+            fc, ack_seq,
+            encoded_window_bytes(window_bytes, entry.peer_wscale))
+
+    # ------------------------------------------------------------------
+    # Feedback-loss fallback (graceful degradation, not punishment)
+    # ------------------------------------------------------------------
+    def _feedback_fallback(self, entry, fc: FlowConformance) -> None:
+        """Degrade a feedback-dead flow to local-signal-only CC.
+
+        With PACK/FACK options stripped in transit, DCTCP never sees a
+        marked byte and would grow its window into standing congestion
+        forever.  NewReno driven purely by conntrack's local signals
+        (dupack-inferred loss, inactivity timeouts) needs no feedback
+        channel, so the flow keeps being enforced — just less precisely.
+        The swap is one-way: a channel that drops options once is not
+        trusted again for this flow's lifetime.
+        """
+        old = entry.vswitch_cc
+        cc = make_vswitch_cc("reno", mss=self.mss, beta=old.beta,
+                             min_wnd_bytes=old.min_wnd,
+                             max_wnd_bytes=old.max_wnd)
+        # Start from the current operating point, not a fresh slow start.
+        cc.wnd = max(float(cc.min_wnd), min(old.wnd, float(cc.max_wnd)))
+        cc.ssthresh = cc.wnd
+        entry.vswitch_cc = cc
+        entry.enforced_wnd = min(entry.enforced_wnd, cc.window_bytes)
+        fc.fallback_active = True
+        fc.acked_since_feedback = 0
+        self.fallbacks += 1
+        self._notify("guard_feedback_fallback", entry,
+                     from_algorithm=old.name, to_algorithm=cc.name)

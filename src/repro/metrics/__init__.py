@@ -1,6 +1,8 @@
 """Measurement: statistics, collectors, and the CPU-overhead model."""
 
 from .collectors import (
+    Event,
+    EventLog,
     FaultRecorder,
     FctRecorder,
     FlowRecord,
@@ -13,6 +15,8 @@ from .stats import Ewma, cdf_points, jain_index, moving_average, percentile, sum
 
 __all__ = [
     "CpuReport",
+    "Event",
+    "EventLog",
     "Ewma",
     "FaultRecorder",
     "FctRecorder",

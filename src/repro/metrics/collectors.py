@@ -133,6 +133,51 @@ class RttRecorder:
         self.samples.append(rtt_s)
 
 
+@dataclass(frozen=True)
+class Event:
+    """One structured degradation/guard event.
+
+    ``detail`` is a sorted tuple of (key, value) pairs so events are
+    hashable and two runs of the same seed produce comparable logs.
+    """
+
+    time: float
+    kind: str
+    flow: Optional[object] = None
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+
+class EventLog:
+    """Ordered ledger of structured events (guard transitions, watchdog
+    shedding, fallback activations).
+
+    Complements :class:`FaultRecorder`'s per-cause counts with the full
+    (time, kind, flow, detail) sequence, which is what determinism
+    assertions and the DESIGN.md state-machine audit trail consume.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def record(self, time: float, kind: str, flow=None, **detail) -> None:
+        self.events.append(Event(time=time, kind=kind, flow=flow,
+                                 detail=tuple(sorted(detail.items()))))
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Counter = Counter(e.kind for e in self.events)
+        return dict(counts)
+
+    def for_flow(self, flow) -> List[Event]:
+        return [e for e in self.events if e.flow == flow]
+
+    def signature(self) -> List[tuple]:
+        """Canonical, comparable form of the whole log (determinism checks)."""
+        return [(e.time, e.kind, e.flow, e.detail) for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
 class FaultRecorder:
     """Per-cause ledger of injected faults (see :mod:`repro.faults`).
 

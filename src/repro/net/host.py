@@ -65,6 +65,11 @@ class Host:
         self.tx_jitter = tx_jitter
         self._jitter_rng = RngFactory(seed).stream(f"host:{name}")
         self._egress_clock = 0.0
+        # Tenant profile: connection options applied to every endpoint on
+        # this host (explicit per-connection options still win).  This is
+        # how experiments model adversarial tenants — e.g.
+        # ``set_tenant_profile(ignore_rwnd=True)`` or ``ack_division=8``.
+        self.default_conn_opts: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -85,10 +90,19 @@ class Host:
         self._next_port += 1
         return port
 
+    def set_tenant_profile(self, **conn_opts) -> None:
+        """Set default connection options for this host's tenant."""
+        self.default_conn_opts.update(conn_opts)
+
+    def _apply_profile(self, conn_opts: dict) -> None:
+        for key, value in self.default_conn_opts.items():
+            conn_opts.setdefault(key, value)
+        conn_opts.setdefault("mss", self.mss)
+
     def connect(self, raddr: str, rport: int, **conn_opts) -> TcpConnection:
         """Active-open a connection to ``raddr:rport``."""
         lport = self.allocate_port()
-        conn_opts.setdefault("mss", self.mss)
+        self._apply_profile(conn_opts)
         conn = TcpConnection(self.sim, self, self.addr, lport, raddr, rport,
                              **conn_opts)
         self.connections[conn.key()] = conn
@@ -98,7 +112,7 @@ class Host:
     def listen(self, port: int, on_accept: Optional[Callable[[TcpConnection], None]] = None,
                **conn_opts) -> None:
         """Register a listener; incoming SYNs spawn passive connections."""
-        conn_opts.setdefault("mss", self.mss)
+        self._apply_profile(conn_opts)
         self.listeners[port] = {"on_accept": on_accept, "opts": conn_opts}
 
     # ------------------------------------------------------------------

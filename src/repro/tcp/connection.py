@@ -83,6 +83,8 @@ class TcpConnection:
         pacing_rate_bps: Optional[float] = None,
         cc_kwargs: Optional[dict] = None,
         ignore_rwnd: bool = False,
+        ack_division: int = 0,
+        ecn_bleach: bool = False,
     ):
         self.sim = sim
         self.host = host
@@ -142,6 +144,13 @@ class TcpConnection:
         self.retransmitted_bytes = 0
 
         self.ignore_rwnd = ignore_rwnd
+        # Adversarial receiver models (see repro.guard): split cumulative
+        # ACKs into this many sub-ACKs (Savage et al.'s ACK division; 0/1
+        # = honest), and/or never echo congestion marks (ECN bleaching).
+        if ack_division < 0:
+            raise ValueError("ack_division must be >= 0")
+        self.ack_division = ack_division
+        self.ecn_bleach = ecn_bleach
 
         # --- pacing (models the Fig. 2 per-flow rate limiter) -------------------
         self.pacing_rate_bps = pacing_rate_bps
@@ -685,8 +694,9 @@ class TcpConnection:
         if self.state not in (ESTABLISHED, FIN_WAIT, SYN_RCVD):
             return
         start, end = pkt.seq, pkt.end_seq
+        prev_rcv_nxt = self.rcv_nxt
         ce = pkt.ce
-        if self.ecn_ok:
+        if self.ecn_ok and not self.ecn_bleach:
             if self.cc_name == "dctcp":
                 self.ece_latched = ce  # precise per-ACK echo
             elif ce:
@@ -706,7 +716,28 @@ class TcpConnection:
             self.bytes_delivered += delivered
             if self.on_data is not None:
                 self.on_data(delivered)
-        self._send_ack(tsecr=pkt.tsval)
+        if self.ack_division > 1 and self.rcv_nxt - prev_rcv_nxt > 1:
+            self._send_divided_acks(prev_rcv_nxt, tsecr=pkt.tsval)
+        else:
+            self._send_ack(tsecr=pkt.tsval)
+
+    def _send_divided_acks(self, prev_rcv_nxt: int, tsecr: float) -> None:
+        """ACK division (Savage et al. 1999): acknowledge one delivery as
+        many sub-MSS cumulative ACKs, tricking packet-counting or
+        carelessly byte-counting senders into inflated window growth."""
+        total = self.rcv_nxt - prev_rcv_nxt
+        k = min(self.ack_division, total)
+        step = total // k
+        points = [prev_rcv_nxt + step * i for i in range(1, k)]
+        points.append(self.rcv_nxt)
+        for ack_seq in points:
+            ackpkt = self._make_packet(seq=self.snd_nxt, ack=True)
+            ackpkt.ack_seq = ack_seq
+            ackpkt.tsecr = tsecr
+            ackpkt.ece = bool(self.ece_latched and self.ecn_ok)
+            if self.ooo:
+                ackpkt.sack_blocks = tuple(self.ooo[:MAX_SACK_BLOCKS])
+            self._transmit(ackpkt)
 
     def _drain_ooo(self) -> int:
         delivered = 0
