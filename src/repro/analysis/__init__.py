@@ -1,0 +1,49 @@
+"""Correctness tooling for the AC/DC reproduction.
+
+Two layers, one motivation: the paper's argument (§3.1–3.3) rests on the
+vSwitch *exactly* reconstructing and enforcing TCP window state, and the
+bug classes that silently corrupt that reconstruction keep recurring —
+raw (non-serial) sequence comparisons that break at the 2^32 wrap,
+encoded-RWND/wscale rounding errors, and nondeterminism from ad-hoc
+RNG or wall-clock use.  This package catches them mechanically:
+
+* **`repro-lint`** (:mod:`repro.analysis.lint`) — an AST static-analysis
+  pass over the source tree with repro-specific rules (RL001–RL005), an
+  inline suppression syntax that requires a written reason, and a CLI
+  driver: ``python -m repro.analysis lint src/``.
+* **runtime sanitizer** (:mod:`repro.analysis.sanitize`) — opt-in
+  invariant probes wrapped around the vSwitch datapath, the simulation
+  engine and the switch buffer accounting.  Enabled via
+  ``REPRO_SANITIZE=1`` or ``AcdcConfig(sanitize=True)``; zero cost when
+  off.  Violations raise :class:`~repro.analysis.sanitize.InvariantViolation`
+  carrying the flow key, the sim time and the run seed so every failure
+  is replayable.
+"""
+
+from .lint import LintConfig, lint_file, lint_paths, lint_source
+from .report import format_report
+from .rules import RULE_CATALOG, Violation
+from .sanitize import (
+    DatapathSanitizer,
+    InvariantViolation,
+    enable,
+    is_enabled,
+    run_seed,
+    set_run_seed,
+)
+
+__all__ = [
+    "DatapathSanitizer",
+    "InvariantViolation",
+    "LintConfig",
+    "RULE_CATALOG",
+    "Violation",
+    "enable",
+    "format_report",
+    "is_enabled",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_seed",
+    "set_run_seed",
+]

@@ -1,0 +1,62 @@
+"""CLI driver: ``python -m repro.analysis lint [paths...]``.
+
+Exit status: 0 when the tree is clean, 1 when violations were found,
+2 on usage or I/O errors.  The report is stable across runs (sorted by
+file, line, column, code) so CI output can be diffed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .lint import LintConfig, lint_paths
+from .report import format_report
+from .rules import RULE_CATALOG
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repro-specific static analysis for the AC/DC datapath.")
+    sub = parser.add_subparsers(dest="command")
+    lint = sub.add_parser("lint", help="run the AST lint pass")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: src/)")
+    lint.add_argument("--select", default="",
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command != "lint":
+        parser.print_help()
+        return 2
+    if args.list_rules:
+        for code in sorted(RULE_CATALOG):
+            print(f"{code}  {RULE_CATALOG[code]}")
+        return 0
+    paths = args.paths or ["src/"]
+    select = tuple(c.strip() for c in args.select.split(",") if c.strip())
+    unknown = [c for c in select if c not in RULE_CATALOG]
+    if unknown:
+        print(f"repro-lint: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    config = LintConfig(select=select)
+    try:
+        violations = lint_paths(paths, config)
+    except OSError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

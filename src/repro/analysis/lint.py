@@ -1,0 +1,152 @@
+"""`repro-lint` driver: parse, apply rules, honour suppressions.
+
+Suppression syntax (a reason is **required** — a bare disable does not
+suppress and is itself reported as RL000):
+
+* inline, on the flagged line (or a standalone comment on the line
+  directly above it)::
+
+      ahead = nxt - una  # repro-lint: disable=RL001 (linear test fixture)
+
+* file-level, anywhere in the file, applying to every line::
+
+      # repro-lint: disable-file=RL001 (guest stack is linear-space)
+
+Multiple codes may be given comma-separated: ``disable=RL001,RL003 (...)``.
+
+Two structural exemptions are built in rather than suppressed inline,
+because they *are* the sanctioned implementations the rules point to:
+``net/packet.py`` (the RFC 1982 serial-arithmetic helpers) is exempt from
+RL001, and ``sim/rng.py`` (the named-stream registry) from RL002.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .rules import RULE_CATALOG, RuleVisitor, Violation
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule configuration; defaults encode the repo's structure."""
+
+    #: Path suffixes exempt from RL001 (the serial-arithmetic helpers).
+    serial_helper_suffixes: Tuple[str, ...] = ("net/packet.py",)
+    #: Path suffixes exempt from RL002 (the sanctioned RNG registry).
+    rng_registry_suffixes: Tuple[str, ...] = ("sim/rng.py",)
+    #: Restrict to these codes (None = every rule).
+    select: Tuple[str, ...] = ()
+
+    def enabled_for(self, path: str) -> Set[str]:
+        codes = set(self.select) if self.select else set(RULE_CATALOG)
+        codes.discard("RL000")  # emitted by the suppression parser
+        codes.discard("RL999")  # emitted by the parse-error path
+        norm = path.replace(os.sep, "/")
+        if any(norm.endswith(sfx) for sfx in self.serial_helper_suffixes):
+            codes.discard("RL001")
+        if any(norm.endswith(sfx) for sfx in self.rng_registry_suffixes):
+            codes.discard("RL002")
+        return codes
+
+
+@dataclass
+class _Suppressions:
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Lines holding *only* a suppression comment: a disable there also
+    #: covers the following line (for statements too long to annotate).
+    standalone: Set[int] = field(default_factory=set)
+    malformed: List[Violation] = field(default_factory=list)
+
+
+def _parse_suppressions(source: str, path: str) -> _Suppressions:
+    sup = _Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        codes = {c.strip() for c in m.group("codes").split(",")}
+        reason = (m.group("reason") or "").strip()
+        if not reason:
+            sup.malformed.append(Violation(
+                path=path, line=lineno, col=max(text.find("#"), 0),
+                code="RL000",
+                message="suppression is missing its (reason); the disable "
+                        "is ignored"))
+            continue
+        if m.group("scope"):
+            sup.file_level |= codes
+        else:
+            sup.by_line.setdefault(lineno, set()).update(codes)
+            if text.lstrip().startswith("#"):
+                sup.standalone.add(lineno)
+    return sup
+
+
+def _is_suppressed(v: Violation, sup: _Suppressions) -> bool:
+    if v.code in sup.file_level:
+        return True
+    if v.code in sup.by_line.get(v.line, ()):
+        return True
+    prev = v.line - 1
+    return prev in sup.standalone and v.code in sup.by_line.get(prev, ())
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>",
+                config: LintConfig = LintConfig()) -> List[Violation]:
+    """Lint one unit of source text; returns surviving violations."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 1,
+                          col=(exc.offset or 1) - 1, code="RL999",
+                          message=f"parse error: {exc.msg}")]
+    visitor = RuleVisitor(path, enabled=config.enabled_for(path))
+    visitor.visit(tree)
+    sup = _parse_suppressions(source, path)
+    kept = [v for v in visitor.violations if not _is_suppressed(v, sup)]
+    kept.extend(sup.malformed)
+    return sorted(kept)
+
+
+def lint_file(path: str, config: LintConfig = LintConfig()) -> List[Violation]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path, config=config)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a deterministic list of .py files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                out.extend(os.path.join(root, f)
+                           for f in sorted(files) if f.endswith(".py"))
+        else:
+            out.append(path)
+    return out
+
+
+def lint_paths(paths: Sequence[str],
+               config: LintConfig = LintConfig()) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths``; sorted, deterministic."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, config))
+    return sorted(violations)

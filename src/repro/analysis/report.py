@@ -1,0 +1,39 @@
+"""Stable report formatting for `repro-lint`.
+
+CI diffs the linter's output between runs, so the format is strictly
+deterministic: findings sorted by (path, line, column, code), paths
+normalised to forward slashes and made relative to the invocation
+directory when possible, one finding per line, and a fixed summary line.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from .rules import Violation
+
+
+def _display_path(path: str, base: str) -> str:
+    try:
+        rel = os.path.relpath(path, base)
+    except ValueError:  # different drive (Windows)
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def format_report(violations: Sequence[Violation],
+                  base: str = ".") -> str:
+    """Render findings as the canonical file:line-sorted report."""
+    rendered: List[str] = []
+    display = sorted(
+        Violation(path=_display_path(v.path, base), line=v.line,
+                  col=v.col, code=v.code, message=v.message)
+        for v in violations
+    )
+    rendered.extend(v.render() for v in display)
+    n = len(display)
+    rendered.append(f"repro-lint: {n} violation{'s' if n != 1 else ''}")
+    return "\n".join(rendered)

@@ -1,0 +1,323 @@
+"""The `repro-lint` rule catalog: one AST pass, five repro-specific rules.
+
+Each rule targets a bug class that has already cost a PR to fix by hand
+(see DESIGN.md §9):
+
+* **RL001 raw-seq-compare** — ordered comparison (``<``/``<=``/``>``/
+  ``>=``) or bare subtraction on identifiers that name TCP sequence
+  state (``seq``/``ack_seq``/``snd_una``/``snd_nxt``/``edge``...).
+  Sequence numbers live in a 32-bit circular space; ordered comparisons
+  must go through the RFC 1982 serial helpers (``seq_lt`` & friends in
+  ``repro.net.packet``) and distances through ``seq_delta`` or the
+  ``(a - b) & SEQ_MASK`` idiom, which the rule recognises as safe.
+* **RL002 unseeded-rng** — ``random.Random()`` with no seed, module-level
+  ``random.*`` calls (the process-global RNG), or ``random.SystemRandom``:
+  all nondeterministic across runs.  Sanctioned path:
+  :class:`repro.sim.rng.RngFactory` named streams.
+* **RL003 wall-clock** — ``time.time()``/``monotonic()``/``perf_counter``/
+  ``datetime.now()`` and friends: simulation code must use the engine
+  clock (``sim.now``), never the host's.
+* **RL004 float-time-equality** — ``==``/``!=`` between two simulation
+  timestamps.  Virtual time is a float; exact equality between computed
+  timestamps is a rounding bug waiting to happen (compare with ordering
+  or an epsilon).
+* **RL005 mutable-default-arg** — a list/dict/set (literal, comprehension
+  or constructor) as a parameter default: shared across calls, a classic
+  source of cross-flow state bleed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+RULE_CATALOG: Dict[str, str] = {
+    "RL000": "suppression-missing-reason: a `# repro-lint: disable=` "
+             "comment must carry a (reason)",
+    "RL001": "raw-seq-compare: ordered comparison or bare subtraction on "
+             "sequence-space identifiers; use the serial helpers "
+             "(seq_lt/seq_delta) or the `(a - b) & SEQ_MASK` idiom",
+    "RL002": "unseeded-rng: module-level random.* call, unseeded "
+             "random.Random(), or SystemRandom; draw from a named "
+             "RngFactory stream instead",
+    "RL003": "wall-clock: host clock call (time.time/monotonic/"
+             "perf_counter, datetime.now/utcnow/today); simulation code "
+             "must use the engine clock",
+    "RL004": "float-time-equality: ==/!= between two simulation "
+             "timestamps; compare with ordering or an epsilon",
+    "RL005": "mutable-default-arg: mutable default parameter value is "
+             "shared across calls",
+    "RL999": "parse-error: file could not be parsed",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One lint finding, ordered for the stable report format."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# --- RL001: identifiers that name 32-bit sequence-space values ----------
+#: An identifier is "sequence-like" when one of its snake_case tokens is a
+#: sequence-space word.  `newly_acked`, `dupacks`, `ack_count` (byte/event
+#: counts) deliberately do not match; `ack_seq`, `snd_una`, `cut_seq`,
+#: `advertised_edge`, `window_end`'s partner `snd_una` do.
+_SEQ_TOKENS = {"seq", "una", "nxt", "edge", "iss", "irs"}
+
+#: Time-like identifiers for RL004: the engine clock and derived stamps.
+_TIME_EXACT = {"now", "deadline"}
+_TIME_SUFFIXES = ("_at", "_time", "_deadline", "_timestamp")
+
+_WALL_CLOCK_TIME_ATTRS = {
+    "time", "monotonic", "perf_counter", "process_time",
+    "time_ns", "monotonic_ns", "perf_counter_ns", "process_time_ns",
+}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+_SNAKE_SPLIT = re.compile(r"[^a-zA-Z0-9]+")
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_seq_name(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    if name.isupper():
+        # ALL_CAPS names are the sequence-space *constants* (SEQ_MASK,
+        # SEQ_HALF...) that the sanctioned wrap-safe idioms are built
+        # from, not sequence-number variables.
+        return False
+    tokens = [t for t in _SNAKE_SPLIT.split(name.lower()) if t]
+    return any(tok in _SEQ_TOKENS for tok in tokens)
+
+
+def _is_time_name(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return lowered in _TIME_EXACT or lowered.endswith(_TIME_SUFFIXES)
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = _terminal_name(node.func)
+        return callee in {"list", "dict", "set", "bytearray",
+                          "deque", "defaultdict", "OrderedDict", "Counter"}
+    return False
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Single-pass visitor emitting raw (pre-suppression) violations."""
+
+    def __init__(self, path: str,
+                 enabled: Optional[Set[str]] = None) -> None:
+        self.path = path
+        self.enabled = enabled  # None = all rules
+        self.violations: List[Violation] = []
+        # Aliases under which the `random` / `time` / `datetime` modules
+        # (or their nondeterministic members) are reachable in this file.
+        self._random_aliases: Set[str] = set()
+        self._random_func_names: Set[str] = set()
+        self._time_aliases: Set[str] = set()
+        self._time_func_names: Set[str] = set()
+        self._datetime_aliases: Set[str] = set()  # datetime module or class
+        self._parents: Dict[int, ast.AST] = {}
+
+    # ------------------------------------------------------------------
+    def _emit(self, code: str, node: ast.AST, message: str) -> None:
+        if self.enabled is not None and code not in self.enabled:
+            return
+        self.violations.append(Violation(
+            path=self.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), code=code, message=message))
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._parents[id(child)] = node
+        super().generic_visit(node)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    # ------------------------------------------------------------------
+    # Import tracking (for RL002 / RL003)
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self._random_aliases.add(bound)
+            elif alias.name == "time":
+                self._time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name == "Random":
+                    continue  # seeded construction is checked at call sites
+                self._random_func_names.add(alias.asname or alias.name)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                    self._time_func_names.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self._datetime_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # RL001 + RL004: comparisons
+    # ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                if _is_seq_name(left) or _is_seq_name(right):
+                    self._emit(
+                        "RL001", node,
+                        "ordered comparison on sequence-space identifier "
+                        f"'{_terminal_name(left) if _is_seq_name(left) else _terminal_name(right)}'"
+                        " (use seq_lt/seq_leq/seq_gt/seq_geq)")
+            elif isinstance(op, (ast.Eq, ast.NotEq)):
+                if _is_time_name(left) and _is_time_name(right):
+                    self._emit(
+                        "RL004", node,
+                        "exact float equality between sim timestamps "
+                        f"'{_terminal_name(left)}' and '{_terminal_name(right)}'")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # RL001: bare subtraction on sequence identifiers
+    # ------------------------------------------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (isinstance(node.op, ast.Sub)
+                and (_is_seq_name(node.left) or _is_seq_name(node.right))
+                and not self._is_masked(node)):
+            name = (_terminal_name(node.left) if _is_seq_name(node.left)
+                    else _terminal_name(node.right))
+            self._emit(
+                "RL001", node,
+                f"bare subtraction on sequence-space identifier '{name}' "
+                "(use seq_delta, or mask with `& SEQ_MASK`)")
+        self.generic_visit(node)
+
+    def _is_masked(self, node: ast.BinOp) -> bool:
+        """True for the wrap-safe ``(a - b ...) & SEQ_MASK`` idiom: the
+        subtraction sits (possibly under further +/- terms) below a
+        bitwise-and whose other operand mentions SEQ_MASK."""
+        child: ast.AST = node
+        parent = self.parent(child)
+        while isinstance(parent, ast.BinOp):
+            if isinstance(parent.op, ast.BitAnd):
+                other = parent.right if parent.left is child else parent.left
+                if _terminal_name(other) == "SEQ_MASK":
+                    return True
+                return False
+            if not isinstance(parent.op, (ast.Add, ast.Sub)):
+                return False
+            child = parent
+            parent = self.parent(child)
+        return False
+
+    # ------------------------------------------------------------------
+    # RL002 + RL003: calls
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base in self._random_aliases:
+                self._check_random_attr_call(node, attr)
+            elif base in self._time_aliases and attr in _WALL_CLOCK_TIME_ATTRS:
+                self._emit("RL003", node,
+                           f"wall-clock call time.{attr}() "
+                           "(use the engine clock, sim.now)")
+            elif (base in self._datetime_aliases
+                    and attr in _WALL_CLOCK_DATETIME_ATTRS):
+                self._emit("RL003", node,
+                           f"wall-clock call {base}.{attr}() "
+                           "(use the engine clock, sim.now)")
+        elif (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in self._datetime_aliases
+                and func.value.attr == "datetime"
+                and func.attr in _WALL_CLOCK_DATETIME_ATTRS):
+            # datetime.datetime.now()
+            self._emit("RL003", node,
+                       f"wall-clock call datetime.datetime.{func.attr}() "
+                       "(use the engine clock, sim.now)")
+        elif isinstance(func, ast.Name):
+            if func.id in self._random_func_names:
+                self._emit("RL002", node,
+                           f"module-level random function {func.id}() uses "
+                           "the shared global RNG (use an RngFactory stream)")
+            elif func.id in self._time_func_names:
+                self._emit("RL003", node,
+                           f"wall-clock call {func.id}() "
+                           "(use the engine clock, sim.now)")
+        self.generic_visit(node)
+
+    def _check_random_attr_call(self, node: ast.Call, attr: str) -> None:
+        if attr == "Random":
+            if not node.args and not node.keywords:
+                self._emit("RL002", node,
+                           "unseeded random.Random() is nondeterministic "
+                           "(seed it, or use an RngFactory stream)")
+        elif attr == "SystemRandom":
+            self._emit("RL002", node,
+                       "random.SystemRandom is nondeterministic by design")
+        else:
+            self._emit("RL002", node,
+                       f"module-level random.{attr}() uses the shared "
+                       "global RNG (use an RngFactory stream)")
+
+    # ------------------------------------------------------------------
+    # RL005: mutable default arguments
+    # ------------------------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]:
+            if _is_mutable_literal(default):
+                self._emit("RL005", default,
+                           "mutable default argument is shared across calls "
+                           "(default to None and construct inside)")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)

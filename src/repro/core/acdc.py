@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, TYPE_CHECKING
 
+from ..analysis import sanitize
 from ..net.packet import ECN_ECT0, FlowKey, Packet
 from ..sim.timers import Timer
 from .ecn import mark_egress_data, scrub_ingress_ack, scrub_ingress_data
@@ -56,6 +57,9 @@ class AcdcConfig:
     proactive_window_updates: bool = False
     gc_interval: float = 1.0
     idle_timeout: float = 30.0
+    # Runtime invariant sanitizer (repro.analysis.sanitize): True/False
+    # forces it for this datapath, None defers to REPRO_SANITIZE.
+    sanitize: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.feedback_mode not in ("pack", "fack-only"):
@@ -93,6 +97,11 @@ class AcdcVswitch:
         self.guard = guard
         if guard is not None:
             guard.attach(self)
+        # Invariant probes (repro.analysis.sanitize).  None when off, so
+        # the datapath pays one `is None` test per hook and nothing else.
+        sanitize_on = (self.config.sanitize if self.config.sanitize is not None
+                       else sanitize.is_enabled())
+        self.sanitizer = sanitize.DatapathSanitizer(self) if sanitize_on else None
         # Fault-recovery accounting (see repro.faults): state losses this
         # vSwitch suffered and flow entries rebuilt mid-flow afterwards.
         self.restarts = 0
@@ -135,6 +144,10 @@ class AcdcVswitch:
         self._apply_config_floor(entry)
         self.resurrections += 1
         self.ops.record("flow_resurrect")
+        if self.sanitizer is not None:
+            # The rebuilt entry restarts its window tracking from scratch;
+            # stale edge high-water would read as a (false) retreat.
+            self.sanitizer.forget_flow(key)
         return entry
 
     def restart(self) -> None:
@@ -198,8 +211,13 @@ class AcdcVswitch:
             entry = self._resurrect(pkt.flow_key())
         if not entry.policy.enforced:
             return pkt
+        san = self.sanitizer
+        prev_nxt = entry.conntrack.snd_nxt if san is not None else None
         entry.conntrack.on_egress_data(pkt)
         self.ops.record("seq_update")
+        if san is not None:
+            san.check_serial_progress(entry.key, None, None,
+                                      prev_nxt, entry.conntrack.snd_nxt)
         if entry.shed:
             # Watchdog pass-through: stats above still collected, but no
             # marking, guarding or policing — the guest stack is on its own.
@@ -240,6 +258,9 @@ class AcdcVswitch:
             fack = feedback.make_fack(ack)
             self.ops.record("fack_create")
             self.host.wire_out(fack)
+        if self.sanitizer is not None:
+            self.sanitizer.register_feedback_report(
+                entry.key, feedback.total_bytes, feedback.marked_bytes)
 
     # ------------------------------------------------------------------
     # Ingress: wire -> VM
@@ -286,9 +307,20 @@ class AcdcVswitch:
             entry = self._resurrect(pkt.reverse_key())
         if not entry.policy.enforced:
             return bool(pkt.is_fack)
+        san = self.sanitizer
+        prev_una = entry.conntrack.snd_una if san is not None else None
+        prev_nxt = entry.conntrack.snd_nxt if san is not None else None
         verdict = entry.conntrack.on_ingress_ack(pkt, self.sim.now)
         self.ops.record("seq_update")
+        if san is not None:
+            san.check_serial_progress(entry.key, prev_una,
+                                      entry.conntrack.snd_una,
+                                      prev_nxt, entry.conntrack.snd_nxt)
+            if pkt.pack is not None:
+                san.check_feedback_consume(entry.key, pkt.pack)
         total_delta, marked_delta = entry.feedback_reader.consume(pkt.pack)
+        if san is not None:
+            san.check_feedback_deltas(entry.key, total_delta, marked_delta)
         if pkt.pack is not None:
             self.ops.record("feedback_extract")
             pkt.pack = None  # stripped before the VM can see it
@@ -307,6 +339,8 @@ class AcdcVswitch:
             loss=verdict.loss_detected,
         )
         self.ops.record("cc_update")
+        if san is not None:
+            san.check_window_value(entry.key, wnd, cc)
         entry.enforced_wnd = wnd
         if self.window_cb is not None:
             self.window_cb(entry.key, self.sim.now, wnd)
@@ -316,9 +350,20 @@ class AcdcVswitch:
         if pkt.is_fack:
             return True  # dropped after logging the data (§3.2)
         if self.config.enforce and not self.config.log_only:
-            if entry.enforcer.enforce(pkt, wnd, entry.peer_wscale):
+            rewritten = entry.enforcer.enforce(pkt, wnd, entry.peer_wscale)
+            if rewritten:
                 self.ops.record("rwnd_rewrite")
                 self.ops.record("checksum_recalc")
+            if san is not None:
+                san.check_rewrite(entry.key, pkt, wnd, entry.peer_wscale,
+                                  rewritten)
+        if san is not None:
+            guard_state = entry.guard_state
+            san.note_advertised_edge(
+                entry.key, pkt.ack_seq,
+                pkt.advertised_window(entry.peer_wscale),
+                guard_edge=(guard_state.advertised_edge
+                            if guard_state is not None else None))
         # In log-only mode the host stack stays in charge, so it must keep
         # seeing its own congestion feedback (Fig. 9 methodology).
         if self.config.hide_ecn and not self.config.log_only:
@@ -349,6 +394,10 @@ class AcdcVswitch:
             return
         entry.receiver_feedback.on_data(pkt)
         self.ops.record("counters_update")
+        if self.sanitizer is not None:
+            self.sanitizer.check_feedback_counters(
+                entry.key, entry.receiver_feedback.total_bytes,
+                entry.receiver_feedback.marked_bytes, "receiver counters")
         if entry.shed:
             return  # pass-through: the VM keeps its CE marks
         if self.config.log_only or not self.config.hide_ecn:
@@ -406,8 +455,19 @@ class AcdcVswitch:
         if self.guard is not None:
             self.guard.note_advertisement(entry, entry.conntrack.snd_una,
                                           entry.enforced_wnd)
+        self._note_fabricated_edge(entry, update)
         self.host.deliver(update)
         return True
+
+    def _note_fabricated_edge(self, entry: FlowEntry, pkt: Packet) -> None:
+        """Sanitizer bookkeeping for §3.3 fabricated control packets."""
+        if self.sanitizer is None:
+            return
+        guard_state = entry.guard_state
+        self.sanitizer.note_advertised_edge(
+            entry.key, pkt.ack_seq, pkt.advertised_window(entry.peer_wscale),
+            guard_edge=(guard_state.advertised_edge
+                        if guard_state is not None else None))
 
     def send_dupacks(self, key: FlowKey, count: int = 3) -> bool:
         """Deliver fabricated duplicate ACKs to trigger fast retransmit in
@@ -422,6 +482,7 @@ class AcdcVswitch:
             dup = WindowEnforcer.make_dupack(
                 (key[2], key[3], key[0], key[1]),
                 entry.conntrack.snd_una, entry.enforced_wnd, entry.peer_wscale)
+            self._note_fabricated_edge(entry, dup)
             self.host.deliver(dup)
         return True
 

@@ -11,12 +11,12 @@ shuffle round instead of 30 repetitions.
 
 from __future__ import annotations
 
-import random
 from typing import Dict
 
 from ..metrics import FctRecorder
 from ..net.topology import star
 from ..sim import Simulator
+from ..sim.rng import RngFactory
 from ..workloads.generators import Shuffle
 from .common import ALL_SCHEMES, Scheme, attach_vswitches, switch_opts
 
@@ -32,7 +32,7 @@ def run_scheme(scheme: Scheme, hosts_n: int = 17, duration: float = 1.0,
     recorder = FctRecorder()
     shuffle = Shuffle(
         sim, hosts, recorder, block_bytes=block_bytes,
-        rng=random.Random(seed + 1), fanout=2,
+        rng=RngFactory(seed).stream("fig22.shuffle-order"), fanout=2,
         mice_bytes=16 * 1024, mice_interval=0.1, mice_until=duration * 0.6,
         conn_opts=scheme.conn_opts())
     sim.run(until=duration)

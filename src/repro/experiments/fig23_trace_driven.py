@@ -13,12 +13,12 @@ tails shrink).
 
 from __future__ import annotations
 
-import random
 from typing import Dict
 
 from ..metrics import FctRecorder
 from ..net.topology import star
 from ..sim import Simulator
+from ..sim.rng import RngFactory
 from ..workloads.generators import TraceDriven
 from ..workloads.traces import FlowSizeDistribution, data_mining, web_search
 from .common import ALL_SCHEMES, Scheme, attach_vswitches, switch_opts
@@ -38,7 +38,7 @@ def run_scheme(scheme: Scheme, distribution: FlowSizeDistribution,
     attach_vswitches(scheme, hosts)
     recorder = FctRecorder()
     TraceDriven(sim, hosts, recorder, distribution,
-                rng=random.Random(seed + 99),
+                rng=RngFactory(seed).stream("fig23.trace-apps"),
                 apps_per_host=apps_per_host,
                 messages_per_app=messages_per_app,
                 conn_opts=scheme.conn_opts())

@@ -41,6 +41,11 @@ class SharedBuffer:
     def free(self) -> int:
         return self.capacity - self.used
 
+    def queued_total(self) -> int:
+        """Sum of all per-queue occupancies (the sanitizer audits this
+        against ``used``; they are equal unless accounting leaked)."""
+        return sum(self._queues.values())
+
     def threshold(self) -> float:
         """Current DT admission limit for any single queue."""
         return self.dt_alpha * self.free

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Protocol
 
+from ..analysis import sanitize
 from ..sim.engine import Simulator
 from .buffer import SharedBuffer
 from .packet import Packet
@@ -153,16 +154,33 @@ class SwitchTxPort(TxPort):
         self.marker = marker
         self.queue_id = queue_id
         shared.register_queue(queue_id)
+        # Byte-conservation tripwire (repro.analysis.sanitize): captured
+        # at construction so the per-packet cost when off is one None test.
+        self._accounting = (
+            sanitize.PortAccounting(name, queue_id)
+            if sanitize.is_enabled() else None)
 
     def _admit(self, packet: Packet) -> bool:
+        acct = self._accounting
+        if acct is not None:
+            acct.on_offer(packet.size)
         decision = self.marker.decide(packet, self.shared.queue_bytes(self.queue_id))
         if decision.drop:
+            if acct is not None:
+                acct.on_drop(packet.size)
             return False
         if decision.marked:
             self.stats.marked_packets += 1
         if not self.shared.try_admit(self.queue_id, packet.size):
+            if acct is not None:
+                acct.on_drop(packet.size)
             return False
+        if acct is not None:
+            acct.check(self.shared, self.sim)
         return True
 
     def _release(self, packet: Packet) -> None:
         self.shared.release(self.queue_id, packet.size)
+        if self._accounting is not None:
+            self._accounting.on_release(packet.size)
+            self._accounting.check(self.shared, self.sim)

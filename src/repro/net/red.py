@@ -17,9 +17,9 @@ WRED/ECN is off and only buffer exhaustion drops packets.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
+from ..sim import rng as rng_registry
 from .packet import ECN_CE, Packet
 
 #: DCTCP's recommended threshold at 10 Gb/s: 65 full-size 1.5 KB frames.
@@ -60,7 +60,7 @@ class EcnMarker:
         self.ramp_factor = ramp_factor
         self.marked_packets = 0
         self.dropped_packets = 0
-        self._rng = random.Random(seed ^ 0x5EED)
+        self._rng = rng_registry.stream(seed, "red.wred-drop")
 
     def _nonect_drop_probability(self, queue_bytes: int) -> float:
         """Linear WRED ramp for ECN-incapable packets."""

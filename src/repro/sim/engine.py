@@ -74,12 +74,20 @@ class Simulator:
         sim.run(until=10.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strict: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
         self.events_processed = 0
+        # Sanitizer tripwire: scheduling in the past is *always* a hard
+        # error (see schedule_at); strict mode additionally audits every
+        # popped event against the clock, catching Event.time mutations
+        # and heap-discipline bugs that the scheduling check cannot see.
+        if strict is None:
+            from ..analysis.sanitize import is_enabled  # lazy: no cycle
+            strict = is_enabled()
+        self._strict = strict
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -126,6 +134,10 @@ class Simulator:
                 if until is not None and time > until:
                     break
                 heapq.heappop(heap)
+                if self._strict and time < self.now:
+                    raise SimulationError(
+                        f"event surfaced at {time!r} behind the clock "
+                        f"{self.now!r} (mutated Event.time?)")
                 self.now = time
                 event.fn(*event.args)
                 self.events_processed += 1
@@ -143,6 +155,10 @@ class Simulator:
             time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self._strict and time < self.now:
+                raise SimulationError(
+                    f"event surfaced at {time!r} behind the clock "
+                    f"{self.now!r} (mutated Event.time?)")
             self.now = time
             event.fn(*event.args)
             self.events_processed += 1

@@ -23,9 +23,13 @@ class RngFactory:
 
     def __init__(self, seed: int = 0):
         self.seed = seed
+        #: Stream names handed out so far (name -> times requested); an
+        #: audit surface: every stochastic component should appear here.
+        self.created: dict = {}
 
     def stream(self, name: str) -> random.Random:
         """Return a fresh RNG for stream ``name``; same name ⇒ same stream."""
+        self.created[name] = self.created.get(name, 0) + 1
         mixed = zlib.crc32(name.encode("utf-8")) ^ (self.seed * 0x9E3779B1)
         return random.Random(mixed & 0xFFFFFFFFFFFF)
 
@@ -33,3 +37,9 @@ class RngFactory:
         """``count`` uniform samples in [low, high) from stream ``name``."""
         rng = self.stream(name)
         return [rng.uniform(low, high) for _ in range(count)]
+
+
+def stream(seed: int, name: str) -> random.Random:
+    """One-off named stream: ``RngFactory(seed).stream(name)`` shorthand
+    for components that derive a single RNG rather than holding a factory."""
+    return RngFactory(seed).stream(name)

@@ -8,6 +8,9 @@ queueing delay grows, and the multiplicative decrease ``beta`` grows from
 tcp_illinois.c (kappa parametrisation).
 """
 
+
+# repro-lint: disable-file=RL001 (guest-stack CC: snd_una/snd_nxt here are the connection's unbounded linear sequence ints, not 32-bit wrapped values)
+
 from __future__ import annotations
 
 from typing import Optional

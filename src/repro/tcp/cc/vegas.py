@@ -9,6 +9,9 @@ one MSS if ``diff > beta``, hold otherwise.  ``base_rtt`` is the minimum
 RTT observed.  Loss handling falls back to Reno, as in Linux.
 """
 
+
+# repro-lint: disable-file=RL001 (guest-stack CC: snd_una/snd_nxt here are the connection's unbounded linear sequence ints, not 32-bit wrapped values)
+
 from __future__ import annotations
 
 from typing import Optional

@@ -20,6 +20,8 @@ ranges, never buffers content.  Any byte range can therefore be resent
 without remembering original segment boundaries.
 """
 
+# repro-lint: disable-file=RL001 (guest stack: sequence numbers are unbounded Python ints in a linear space, never wrapped; only vSwitch-side code sees the 32-bit circular space)
+
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple, TYPE_CHECKING

@@ -22,6 +22,8 @@ import math
 import random
 from typing import List, Sequence, Tuple
 
+from ..sim import rng as rng_registry
+
 #: (size_bytes, cumulative probability) control points.
 WEB_SEARCH_CDF: List[Tuple[float, float]] = [
     (1_000, 0.00),
@@ -93,7 +95,7 @@ class FlowSizeDistribution:
 
     def mean_estimate(self, samples: int = 20_000, seed: int = 7) -> float:
         """Monte-Carlo mean (load calculations in the experiments)."""
-        rng = random.Random(seed)
+        rng = rng_registry.stream(seed, "traces.mean-estimate")
         return sum(self.sample(rng) for _ in range(samples)) / samples
 
 
