@@ -6,6 +6,14 @@ Usage::
     python -m repro.experiments fig08
     python -m repro.experiments table1
     python -m repro.experiments fig19 --json
+    python -m repro.experiments fig18-19 --seeds 0,1,2,3 --jobs 8 \\
+        --cache-dir .repro-cache
+
+``--jobs``/``--cache-dir``/``--seeds`` route the multi-seed experiments
+(fig14, fig18-19, fig22, chaos, adversarial) through
+:mod:`repro.runtime`: independent (scheme, seed, config) cells fan out
+across a process pool, merge deterministically in seed order, and cached
+cells are skipped on re-runs.
 
 This is a thin convenience wrapper — the benchmarks under ``benchmarks/``
 are the canonical (asserting) way to regenerate the evaluation.
@@ -14,9 +22,11 @@ are the canonical (asserting) way to regenerate the evaluation.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 
+from ..runtime import Runtime
 from . import (
     ablations,
     adversarial,
@@ -69,6 +79,19 @@ EXPERIMENTS = {
 }
 
 
+def _supported_params(fn) -> set:
+    """Parameter names ``fn`` accepts (empty set if unintrospectable)."""
+    try:
+        return set(inspect.signature(fn).parameters)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return set()
+
+
+def _filter_kwargs(kwargs: dict, supported: set) -> dict:
+    """Drop kwargs the experiment does not take (e.g. quick, runtime)."""
+    return {k: v for k, v in kwargs.items() if k in supported}
+
+
 def _default(obj):
     """Make experiment results JSON-serialisable."""
     if isinstance(obj, (set, tuple)):
@@ -98,6 +121,15 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="dump full structured results as JSON")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seeds",
+                        help="comma-separated seed sweep (multi-seed "
+                             "experiments only), e.g. --seeds 0,1,2,3")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool width for the experiment "
+                             "runtime; 0 means one worker per CPU")
+    parser.add_argument("--cache-dir",
+                        help="on-disk result cache: completed (scheme, "
+                             "seed, config) cells are skipped on re-runs")
     parser.add_argument("--quick", action="store_true",
                         help="reduced scale (CI smoke runs); only honoured "
                              "by experiments with a quick mode")
@@ -115,8 +147,18 @@ def main(argv=None) -> int:
     kwargs = {"seed": args.seed}
     if args.quick:
         kwargs["quick"] = True
+    supported = _supported_params(run)
+    if "runtime" in supported:
+        kwargs["runtime"] = Runtime(jobs=args.jobs or None,
+                                    cache=args.cache_dir)
+    if args.seeds is not None:
+        if "seeds" not in supported:
+            print(f"{args.experiment!r} does not support --seeds",
+                  file=sys.stderr)
+            return 2
+        kwargs["seeds"] = [int(s) for s in args.seeds.split(",") if s]
     try:
-        result = run(**kwargs)
+        result = run(**_filter_kwargs(kwargs, supported))
     except TypeError:
         result = run()
     if args.json:

@@ -28,13 +28,14 @@ lowest-priority-first load shedding, and traffic keeps flowing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..core import AcdcConfig
 from ..faults import EcnBleach, OptionStrip, install_faults
 from ..guard import Guard, GuardConfig
 from ..metrics import EventLog, FaultRecorder, jain_index
 from ..net.topology import star
+from ..runtime import RunSpec, Runtime
 from ..sim import Simulator
 from ..workloads.apps import BulkSender, Sink
 from .common import ACDC, MACRO_RATE, attach_vswitches, switch_opts
@@ -196,26 +197,63 @@ def run_pressure(seed: int = 0, n_senders: int = 8,
     }
 
 
-def run(seed: int = 0, quick: bool = False) -> Dict[str, object]:
+DETECTION_ADVERSARIES = ("ecn_bleach", "ack_division", "option_strip")
+
+
+def run(seed: int = 0, quick: bool = False,
+        seeds: Optional[Sequence[int]] = None,
+        runtime: Optional[Runtime] = None) -> Dict[str, object]:
     """Full sweep: violator share x guard on/off, detection-only
-    adversaries at 25% share, and the watchdog pressure scenario."""
+    adversaries at 25% share, and the watchdog pressure scenario.
+
+    Every cell is an independent simulation, so the whole grid fans
+    through the experiment runtime (``run_point`` / ``run_pressure``
+    already take plain-JSON kwargs).  With ``seeds`` the merge returns
+    ``{"seeds": [...], "per_seed": [<single-seed shape>, ...]}``.
+    """
     n_senders = 4 if quick else 8
     duration = 0.06 if quick else 0.2
     shares = (0.0, 0.25) if quick else (0.0, 0.25, 0.5)
-    sweep = {}
-    for share in shares:
-        for guard_on in (False, True):
-            point = run_point(share, guard_on, seed=seed,
-                              n_senders=n_senders, duration=duration)
-            sweep[f"share={share:g},guard={'on' if guard_on else 'off'}"] = point
-    detection = {
-        adversary: run_point(0.25, True, seed=seed, n_senders=n_senders,
-                             duration=duration, adversary=adversary)
-        for adversary in ("ecn_bleach", "ack_division", "option_strip")
-    }
-    return {
-        "sweep": sweep,
-        "detection": detection,
-        "pressure": run_pressure(seed=seed, n_senders=n_senders,
-                                 duration=min(duration, 0.1)),
-    }
+    rt = runtime if runtime is not None else Runtime()
+    seed_list = [seed] if seeds is None else list(seeds)
+    sweep_cells = [(share, guard_on)
+                   for share in shares for guard_on in (False, True)]
+    specs: List[RunSpec] = []
+    for sd in seed_list:
+        for share, guard_on in sweep_cells:
+            specs.append(RunSpec(
+                f"{__name__}:run_point",
+                {"violator_share": share, "guard_on": guard_on, "seed": sd,
+                 "n_senders": n_senders, "duration": duration}))
+        for adversary in DETECTION_ADVERSARIES:
+            specs.append(RunSpec(
+                f"{__name__}:run_point",
+                {"violator_share": 0.25, "guard_on": True, "seed": sd,
+                 "n_senders": n_senders, "duration": duration,
+                 "adversary": adversary}))
+        specs.append(RunSpec(
+            f"{__name__}:run_pressure",
+            {"seed": sd, "n_senders": n_senders,
+             "duration": min(duration, 0.1)}))
+    flat = rt.map(specs)
+    stride = len(sweep_cells) + len(DETECTION_ADVERSARIES) + 1
+    per_seed = []
+    for k in range(len(seed_list)):
+        base = k * stride
+        sweep = {
+            f"share={share:g},guard={'on' if guard_on else 'off'}":
+                flat[base + i]
+            for i, (share, guard_on) in enumerate(sweep_cells)
+        }
+        detection = {
+            adversary: flat[base + len(sweep_cells) + i]
+            for i, adversary in enumerate(DETECTION_ADVERSARIES)
+        }
+        per_seed.append({
+            "sweep": sweep,
+            "detection": detection,
+            "pressure": flat[base + stride - 1],
+        })
+    if seeds is None:
+        return per_seed[0]
+    return {"seeds": seed_list, "per_seed": per_seed}

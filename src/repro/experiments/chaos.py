@@ -20,7 +20,7 @@ test:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..faults import (
     Corruption,
@@ -35,9 +35,17 @@ from ..faults import (
 )
 from ..metrics import FaultRecorder
 from ..net.topology import star
+from ..runtime import RunSpec, Runtime
 from ..sim import Simulator
 from ..workloads.apps import BulkSender, Sink
-from .common import ALL_SCHEMES, MICRO_RATE, Scheme, attach_vswitches, switch_opts
+from .common import (
+    ALL_SCHEMES,
+    MICRO_RATE,
+    SCHEME_BY_NAME,
+    Scheme,
+    attach_vswitches,
+    switch_opts,
+)
 
 DATA_PORT = 5000
 #: Virtual instant of the mid-transfer vSwitch restarts (the unfaulted
@@ -120,20 +128,44 @@ def run_point(scheme: Scheme, intensity: float, seed: int = 0,
     return result
 
 
+def _cell(scheme: str, intensity: float, seed: int, size_bytes: int,
+          duration: float) -> dict:
+    """Runtime worker: one (scheme, intensity, seed) cell, JSON kwargs."""
+    return run_point(SCHEME_BY_NAME[scheme], intensity, seed=seed,
+                     size_bytes=size_bytes, duration=duration)
+
+
 def run(seed: int = 0, size_bytes: int = 4_000_000, duration: float = 0.5,
         intensities: Sequence[float] = (0.0, 0.01, 0.02, 0.05),
-        quick: bool = False) -> Dict[str, list]:
+        quick: bool = False,
+        seeds: Optional[Sequence[int]] = None,
+        runtime: Optional[Runtime] = None) -> Dict[str, object]:
     """Sweep fault intensity for every scheme; returns per-scheme curves.
 
     ``quick`` shrinks the transfers and the sweep for CI smoke runs.
+    With ``seeds`` the whole scheme x intensity grid fans through the
+    experiment runtime per seed and the merge returns
+    ``{"seeds": [...], "per_seed": [<single-seed shape>, ...]}``.
     """
     if quick:
         size_bytes = min(size_bytes, 1_000_000)
         duration = min(duration, 0.2)
         intensities = intensities[:2]
-    return {
-        scheme.name: [run_point(scheme, intensity, seed=seed,
-                                size_bytes=size_bytes, duration=duration)
-                      for intensity in intensities]
-        for scheme in ALL_SCHEMES
-    }
+    rt = runtime if runtime is not None else Runtime()
+    seed_list = [seed] if seeds is None else list(seeds)
+    cells = [(s.name, x) for s in ALL_SCHEMES for x in intensities]
+    specs = [RunSpec(f"{__name__}:_cell",
+                     {"scheme": name, "intensity": x, "seed": sd,
+                      "size_bytes": size_bytes, "duration": duration})
+             for sd in seed_list for name, x in cells]
+    flat = rt.map(specs)
+    n_int = len(intensities)
+    per_seed = [
+        {s.name: flat[k * len(cells) + i * n_int:
+                      k * len(cells) + (i + 1) * n_int]
+         for i, s in enumerate(ALL_SCHEMES)}
+        for k in range(len(seed_list))
+    ]
+    if seeds is None:
+        return per_seed[0]
+    return {"seeds": seed_list, "per_seed": per_seed}

@@ -58,6 +58,11 @@ ACDC = Scheme("acdc", host_cc="cubic", host_ecn=False,
 
 ALL_SCHEMES = (CUBIC, DCTCP, ACDC)
 
+#: Name -> Scheme, for the runtime's process-pool workers: a run spec's
+#: kwargs must be plain JSON, so cells reference schemes by name and
+#: re-resolve them here (see repro.runtime.spec).
+SCHEME_BY_NAME = {s.name: s for s in ALL_SCHEMES}
+
 
 def attach_vswitches(
     scheme: Scheme,

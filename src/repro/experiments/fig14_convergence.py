@@ -13,9 +13,10 @@ within a second here, so epochs default to 0.5 s on a 1 G bottleneck
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
-from .common import ALL_SCHEMES, Scheme
+from ..runtime import RunSpec, Runtime
+from .common import ALL_SCHEMES, SCHEME_BY_NAME, Scheme
 from .runners import run_dumbbell
 
 
@@ -54,6 +55,31 @@ def run_scheme(scheme: Scheme, flows: int = 5, epoch: float = 0.5,
     }
 
 
-def run(epoch: float = 0.5, seed: int = 0) -> Dict[str, dict]:
-    """The convergence test for all three schemes."""
-    return {s.name: run_scheme(s, epoch=epoch, seed=seed) for s in ALL_SCHEMES}
+def _cell(scheme: str, epoch: float, seed: int) -> dict:
+    """Runtime worker: one (scheme, seed) cell, JSON kwargs only."""
+    return run_scheme(SCHEME_BY_NAME[scheme], epoch=epoch, seed=seed)
+
+
+def run(epoch: float = 0.5, seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+        runtime: Optional[Runtime] = None) -> Dict[str, object]:
+    """The convergence test for all three schemes.
+
+    With ``seeds`` the sweep fans every (scheme, seed) cell through the
+    experiment runtime (seed-major, deterministically merged) and returns
+    ``{"seeds": [...], "per_seed": [<single-seed shape>, ...]}``.
+    """
+    rt = runtime if runtime is not None else Runtime()
+    seed_list = [seed] if seeds is None else list(seeds)
+    specs = [RunSpec(f"{__name__}:_cell",
+                     {"scheme": s.name, "epoch": epoch, "seed": sd})
+             for sd in seed_list for s in ALL_SCHEMES]
+    flat = rt.map(specs)
+    per_seed = [
+        {s.name: flat[k * len(ALL_SCHEMES) + j]
+         for j, s in enumerate(ALL_SCHEMES)}
+        for k in range(len(seed_list))
+    ]
+    if seeds is None:
+        return per_seed[0]
+    return {"seeds": seed_list, "per_seed": per_seed}

@@ -13,31 +13,59 @@ Expected shape (paper):
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..metrics import percentile
-from .common import ALL_SCHEMES
+from ..runtime import RunSpec, Runtime
+from .common import ALL_SCHEMES, SCHEME_BY_NAME
 from .runners import run_incast
 
 SENDER_COUNTS = (16, 32, 40, 47)
 
 
+def _cell(scheme: str, n_senders: int, duration: float, mtu: int,
+          seed: int) -> dict:
+    """Runtime worker: one (scheme, fan-in, seed) cell, JSON kwargs only."""
+    r = run_incast(SCHEME_BY_NAME[scheme], n_senders=n_senders,
+                   duration=duration, mtu=mtu, seed=seed)
+    rtt = r.rtt_samples
+    return {
+        "avg_tput_mbps": r.avg_tput_bps / 1e6,
+        "fairness": r.fairness,
+        "rtt_p50_ms": percentile(rtt, 50) * 1e3 if rtt else float("nan"),
+        "rtt_p999_ms": percentile(rtt, 99.9) * 1e3 if rtt else float("nan"),
+        "drop_rate_pct": r.drop_rate * 100.0,
+    }
+
+
 def run(counts: Sequence[int] = SENDER_COUNTS, duration: float = 0.4,
-        mtu: int = 9000, seed: int = 0) -> List[dict]:
-    """Throughput/fairness/RTT/drops per scheme per fan-in count."""
-    rows: List[dict] = []
-    for n in counts:
-        row: Dict[str, object] = {"senders": n}
-        for scheme in ALL_SCHEMES:
-            r = run_incast(scheme, n_senders=n, duration=duration,
-                           mtu=mtu, seed=seed)
-            rtt = r.rtt_samples
-            row[scheme.name] = {
-                "avg_tput_mbps": r.avg_tput_bps / 1e6,
-                "fairness": r.fairness,
-                "rtt_p50_ms": percentile(rtt, 50) * 1e3 if rtt else float("nan"),
-                "rtt_p999_ms": percentile(rtt, 99.9) * 1e3 if rtt else float("nan"),
-                "drop_rate_pct": r.drop_rate * 100.0,
-            }
-        rows.append(row)
-    return rows
+        mtu: int = 9000, seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+        runtime: Optional[Runtime] = None):
+    """Throughput/fairness/RTT/drops per scheme per fan-in count.
+
+    With ``seeds`` every (fan-in, scheme, seed) cell fans through the
+    experiment runtime; the merge is seed-major and returns
+    ``{"seeds": [...], "per_seed": [<single-seed rows>, ...]}``.
+    """
+    rt = runtime if runtime is not None else Runtime()
+    seed_list = [seed] if seeds is None else list(seeds)
+    cells = [(n, s.name) for n in counts for s in ALL_SCHEMES]
+    specs = [RunSpec(f"{__name__}:_cell",
+                     {"scheme": name, "n_senders": n, "duration": duration,
+                      "mtu": mtu, "seed": sd})
+             for sd in seed_list for n, name in cells]
+    flat = rt.map(specs)
+    per_seed: List[List[dict]] = []
+    for k in range(len(seed_list)):
+        rows: List[dict] = []
+        for i, n in enumerate(counts):
+            row: Dict[str, object] = {"senders": n}
+            for j, scheme in enumerate(ALL_SCHEMES):
+                row[scheme.name] = flat[
+                    k * len(cells) + i * len(ALL_SCHEMES) + j]
+            rows.append(row)
+        per_seed.append(rows)
+    if seeds is None:
+        return per_seed[0]
+    return {"seeds": seed_list, "per_seed": per_seed}

@@ -11,14 +11,15 @@ shuffle round instead of 30 repetitions.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from ..metrics import FctRecorder
 from ..net.topology import star
 from ..sim import Simulator
+from ..runtime import RunSpec, Runtime
 from ..sim.rng import RngFactory
 from ..workloads.generators import Shuffle
-from .common import ALL_SCHEMES, Scheme, attach_vswitches, switch_opts
+from .common import ALL_SCHEMES, SCHEME_BY_NAME, Scheme, attach_vswitches, switch_opts
 
 
 def run_scheme(scheme: Scheme, hosts_n: int = 17, duration: float = 1.0,
@@ -46,7 +47,31 @@ def run_scheme(scheme: Scheme, hosts_n: int = 17, duration: float = 1.0,
     }
 
 
-def run(duration: float = 1.0, seed: int = 0) -> Dict[str, dict]:
-    """The shuffle workload for all three schemes."""
-    return {s.name: run_scheme(s, duration=duration, seed=seed)
-            for s in ALL_SCHEMES}
+def _cell(scheme: str, duration: float, seed: int) -> dict:
+    """Runtime worker: one (scheme, seed) shuffle run, JSON kwargs only."""
+    return run_scheme(SCHEME_BY_NAME[scheme], duration=duration, seed=seed)
+
+
+def run(duration: float = 1.0, seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+        runtime: Optional[Runtime] = None) -> Dict[str, object]:
+    """The shuffle workload for all three schemes.
+
+    With ``seeds`` each (scheme, seed) run fans through the experiment
+    runtime and the merge returns
+    ``{"seeds": [...], "per_seed": [<single-seed shape>, ...]}``.
+    """
+    rt = runtime if runtime is not None else Runtime()
+    seed_list = [seed] if seeds is None else list(seeds)
+    specs = [RunSpec(f"{__name__}:_cell",
+                     {"scheme": s.name, "duration": duration, "seed": sd})
+             for sd in seed_list for s in ALL_SCHEMES]
+    flat = rt.map(specs)
+    per_seed = [
+        {s.name: flat[k * len(ALL_SCHEMES) + j]
+         for j, s in enumerate(ALL_SCHEMES)}
+        for k in range(len(seed_list))
+    ]
+    if seeds is None:
+        return per_seed[0]
+    return {"seeds": seed_list, "per_seed": per_seed}

@@ -33,6 +33,10 @@ class RunResult:
     drop_rate: float = 0.0
     vswitches: Dict[str, object] = field(default_factory=dict)
     flows: List[BulkSender] = field(default_factory=list)
+    #: Per-flow throughput meters; populated only when a runner is asked
+    #: for them (``tput_meters=True``), empty otherwise — so ``.meters``
+    #: is safe to read on any runner's result.
+    meters: List[ThroughputMeter] = field(default_factory=list)
     sim: Optional[Simulator] = None
     topology: Optional[object] = None
 

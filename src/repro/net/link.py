@@ -169,12 +169,16 @@ class SwitchTxPort(TxPort):
             if acct is not None:
                 acct.on_drop(packet.size)
             return False
-        if decision.marked:
-            self.stats.marked_packets += 1
         if not self.shared.try_admit(self.queue_id, packet.size):
+            # A mark-then-drop packet must not count as marked nor carry a
+            # CE stamp it never took onto the wire, so the verdict is
+            # committed only after shared-buffer admission succeeds.
             if acct is not None:
                 acct.on_drop(packet.size)
             return False
+        if decision.marked:
+            self.marker.commit_mark(packet)
+            self.stats.marked_packets += 1
         if acct is not None:
             acct.check(self.shared, self.sim)
         return True

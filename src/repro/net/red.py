@@ -44,7 +44,13 @@ class EcnMarker:
     """Threshold marker on instantaneous queue occupancy.
 
     ``decide`` is called at enqueue time with the occupancy *before* the
-    packet is admitted (standard arrival-based marking).
+    packet is admitted (standard arrival-based marking).  A ``marked``
+    decision is only a *verdict*: the caller applies it with
+    :meth:`commit_mark` once the packet has actually been admitted to the
+    buffer.  A real switch's WRED stage likewise cannot mark a packet the
+    shared-buffer admission is about to discard — stamping (and counting)
+    at decision time would inflate marking stats with packets that never
+    carried CE onto the wire.
     """
 
     def __init__(self, enabled: bool = True,
@@ -76,10 +82,13 @@ class EcnMarker:
         if not self.enabled or queue_bytes < self.threshold:
             return MarkDecision(drop=False, marked=False)
         if packet.ect:
-            packet.ecn = ECN_CE
-            self.marked_packets += 1
             return MarkDecision(drop=False, marked=True)
         if self._rng.random() < self._nonect_drop_probability(queue_bytes):
             self.dropped_packets += 1
             return MarkDecision(drop=True, marked=False)
         return MarkDecision(drop=False, marked=False)
+
+    def commit_mark(self, packet: Packet) -> None:
+        """Stamp CE on an *admitted* packet whose decision was ``marked``."""
+        packet.ecn = ECN_CE
+        self.marked_packets += 1

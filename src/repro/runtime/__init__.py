@@ -1,0 +1,32 @@
+"""Parallel experiment runtime: process-pool fan-out + on-disk result cache.
+
+Public surface::
+
+    from repro.runtime import Runtime, RunSpec
+
+    rt = Runtime(jobs=8, cache=".repro-cache")
+    results = rt.map([RunSpec("repro.experiments.chaos:_cell",
+                              {"scheme": "acdc", "intensity": 0.01,
+                               "seed": s, "size_bytes": 4_000_000,
+                               "duration": 0.5})
+                      for s in range(10)])
+
+See DESIGN.md §10 for the architecture and the cache-key scheme.
+"""
+
+from .cache import ResultCache, cache_from_env
+from .pool import Runtime, RuntimeStats, seed_sweep
+from .spec import SPEC_VERSION, RunSpec, canonical_json, canonicalize, resolve
+
+__all__ = [
+    "ResultCache",
+    "RunSpec",
+    "Runtime",
+    "RuntimeStats",
+    "SPEC_VERSION",
+    "cache_from_env",
+    "canonical_json",
+    "canonicalize",
+    "resolve",
+    "seed_sweep",
+]

@@ -1,0 +1,71 @@
+"""On-disk result cache keyed by run-spec content hashes.
+
+One JSON file per completed run, named ``<sha256>.json`` and holding both
+the spec description and its canonicalized result, so entries are
+self-describing (a human can ``cat`` one to see what produced it).  Writes
+go through a temp file + ``os.replace`` so a crashed or parallel writer
+can never leave a half-written entry behind; unreadable entries are
+treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .spec import canonical_json
+
+
+class ResultCache:
+    """Directory of completed run results, addressed by content hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, result)``."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            return True, entry["result"]
+        except FileNotFoundError:
+            return False, None
+        except (OSError, ValueError, KeyError):
+            # Torn/corrupt entry: behave as a miss, the rerun overwrites it.
+            return False, None
+
+    def put(self, key: str, spec: Dict[str, Any], result: Any) -> None:
+        """Persist one completed run atomically."""
+        path = self._path(key)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        payload = canonical_json({"spec": spec, "result": result})
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, path)
+        except TypeError:
+            # Non-JSON result: never cache something a hit couldn't return.
+            tmp.unlink(missing_ok=True)
+            raise
+        finally:
+            if tmp.exists():  # pragma: no cover - crash-path tidy-up
+                tmp.unlink(missing_ok=True)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+def cache_from_env(env: Optional[dict] = None) -> Optional[ResultCache]:
+    """Cache configured by ``REPRO_CACHE_DIR``, or None when unset."""
+    env = os.environ if env is None else env
+    root = env.get("REPRO_CACHE_DIR")
+    return ResultCache(root) if root else None

@@ -1,0 +1,127 @@
+"""Process-pool experiment runtime with deterministic merging.
+
+The paper's §5 figures are sweeps of *independent* (scheme, seed, config)
+runs — each builds its own :class:`~repro.sim.Simulator` and shares no
+state with its neighbours — so they parallelise perfectly across cores.
+:class:`Runtime` fans a list of :class:`~repro.runtime.spec.RunSpec` out
+over a ``concurrent.futures.ProcessPoolExecutor`` and merges results back
+**in submission order**, never completion order; callers submit cells
+seed-major, so merged output is seed-ordered and byte-identical to what a
+serial loop produces (every result, from any path, passes through the
+same canonical-JSON normalisation — see :mod:`repro.runtime.spec`).
+
+An optional :class:`~repro.runtime.cache.ResultCache` short-circuits
+specs whose content hash already has a stored result, making a re-run of
+a figure after an unrelated code change free.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+from .cache import ResultCache, cache_from_env
+from .spec import RunSpec
+
+
+def _execute(fn: str, kwargs: dict) -> Any:
+    """Pool-worker entry point (module-level: must be picklable)."""
+    return RunSpec(fn, kwargs).execute()
+
+
+@dataclass
+class RuntimeStats:
+    """Bookkeeping of one runtime's lifetime (inspectable in tests/CLI)."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+    batches: List[int] = field(default_factory=list)
+
+
+class Runtime:
+    """Executes run specs serially (``jobs=1``) or across a process pool.
+
+    ``jobs=None`` means one worker per CPU.  ``cache`` may be a
+    :class:`ResultCache`, a directory path, or None (no caching).
+    The serial path executes specs through exactly the same
+    resolve-call-canonicalize pipeline as a pool worker, so switching
+    ``jobs`` can never change results — only wall-clock time.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache: Optional[object] = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.stats = RuntimeStats()
+
+    @classmethod
+    def from_env(cls, env: Optional[dict] = None) -> "Runtime":
+        """``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` configured runtime."""
+        env = os.environ if env is None else env
+        jobs_raw = env.get("REPRO_JOBS")
+        jobs = int(jobs_raw) if jobs_raw else 1
+        return cls(jobs=jobs or None, cache=cache_from_env(env))
+
+    # ------------------------------------------------------------------
+    def map(self, specs: Iterable[RunSpec]) -> List[Any]:
+        """Run every spec; results come back in spec order.
+
+        Cache hits are filled in without executing; the remainder runs
+        serially or on the pool.  Submission order is preserved end to
+        end, so for seed-major spec lists the merge is seed-ordered and
+        deterministic regardless of worker scheduling.
+        """
+        specs = list(specs)
+        results: List[Any] = [None] * len(specs)
+        todo: List[int] = []
+        keys: List[Optional[str]] = [None] * len(specs)
+        for i, spec in enumerate(specs):
+            if self.cache is not None:
+                keys[i] = spec.key()
+                hit, value = self.cache.get(keys[i])
+                if hit:
+                    self.stats.cache_hits += 1
+                    results[i] = value
+                    continue
+            todo.append(i)
+        self.stats.batches.append(len(todo))
+        if not todo:
+            return results
+        if self.jobs == 1 or len(todo) == 1:
+            for i in todo:
+                results[i] = specs[i].execute()
+                self.stats.executed += 1
+        else:
+            workers = min(self.jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_execute, specs[i].fn, dict(specs[i].kwargs))
+                    for i in todo
+                ]
+                for i, future in zip(todo, futures):
+                    results[i] = future.result()
+                    self.stats.executed += 1
+        if self.cache is not None:
+            for i in todo:
+                self.cache.put(keys[i], specs[i].describe(), results[i])
+                self.stats.cache_stores += 1
+        return results
+
+    def run(self, spec: RunSpec) -> Any:
+        """Convenience: execute a single spec (cache-aware)."""
+        return self.map([spec])[0]
+
+
+def seed_sweep(fn: str, seeds: Sequence[int], base_kwargs: dict,
+               seed_param: str = "seed") -> List[RunSpec]:
+    """Seed-major spec list for a multi-seed sweep of one callable."""
+    return [RunSpec(fn, {**base_kwargs, seed_param: seed}) for seed in seeds]

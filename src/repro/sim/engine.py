@@ -19,12 +19,37 @@ Design notes
 * Cancellation is O(1): an :class:`Event` is flagged dead and skipped when
   it surfaces — the standard lazy-deletion trick, which keeps timers
   (per-flow RTOs, garbage collectors, inactivity timers) cheap.
+* Two allocation-pressure valves sit behind the lazy deletion (see
+  DESIGN.md §10):
+
+  - when cancelled corpses exceed half the heap the heap is compacted in
+    one O(n) pass (``heap_compactions`` counts these), so a timer-churny
+    workload cannot grow the calendar without bound;
+  - fired/cancelled :class:`Event` objects are recycled through a small
+    free-list instead of being reallocated, but **only** when the engine
+    holds the last reference (checked via ``sys.getrefcount``) — a
+    caller-held handle is never recycled, so a stale ``cancel()`` can
+    never kill an unrelated later event.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, List, Optional, Tuple
+
+#: Compact the heap only once at least this many cancelled events are
+#: buried in it (small heaps are not worth an O(n) pass) ...
+COMPACT_MIN_CANCELLED = 64
+#: ... and only when corpses make up at least this fraction of the heap.
+COMPACT_FRACTION = 0.5
+
+#: Upper bound on recycled Event objects retained between schedules.
+FREELIST_MAX = 4096
+
+#: ``sys.getrefcount(obj)`` when the run loop's local binding is the sole
+#: remaining reference: one for the local, one for the getrefcount argument.
+_ONLY_ENGINE_REFS = 2
 
 
 class Event:
@@ -34,21 +59,30 @@ class Event:
     event (e.g. a retransmission timer defused by an ACK).
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference while the event sits in its simulator's heap, so
+        # cancel() can keep the corpse count exact; cleared when popped.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references early; a cancelled RTO timer otherwise pins its
         # connection (and every buffered segment) until it surfaces.
         self.fn = _noop
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            sim._cancelled_pending += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -80,6 +114,11 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_processed = 0
+        #: Cancelled events still buried in the heap (lazy deletion debt).
+        self._cancelled_pending = 0
+        #: Times the calendar was compacted to shed cancelled corpses.
+        self.heap_compactions = 0
+        self._free: List[Event] = []
         # Sanitizer tripwire: scheduling in the past is *always* a hard
         # error (see schedule_at); strict mode additionally audits every
         # popped event against the clock, catching Event.time mutations
@@ -104,10 +143,48 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, clock is already at {self.now!r}"
             )
-        event = Event(time, fn, args)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event._sim = self
+        else:
+            event = Event(time, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, event))
+        cancelled = self._cancelled_pending
+        if (cancelled >= COMPACT_MIN_CANCELLED
+                and cancelled >= COMPACT_FRACTION * len(self._heap)):
+            self._compact()
         return event
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled corpses (one O(n) pass).
+
+        (time, seq) pairs are preserved, so relative ordering — and with
+        it determinism — is unaffected.  The rebuild is **in place**
+        (slice assignment): ``run()`` holds a local alias of the heap
+        list, so rebinding ``self._heap`` would orphan the running loop.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+        self.heap_compactions += 1
+
+    def _recycle(self, event: Event) -> None:
+        """Offer a popped event to the free-list; keep it out of callers'
+        hands by recycling only when the engine holds the last reference."""
+        if (len(self._free) < FREELIST_MAX
+                and sys.getrefcount(event) == _ONLY_ENGINE_REFS + 1):
+            # +1: the binding inside this helper adds one reference.
+            event.fn = _noop
+            event.args = ()
+            event._sim = None
+            self._free.append(event)
 
     # ------------------------------------------------------------------
     # Execution
@@ -116,44 +193,68 @@ class Simulator:
         """Run until the event queue drains, ``until`` passes, or
         ``max_events`` callbacks have fired.
 
-        ``until`` is inclusive: events scheduled exactly at ``until`` run,
-        and the clock is left at ``until`` even if the queue drained early,
-        so throughput denominators are well-defined.
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        The clock is left at ``until`` when the time bound was genuinely
+        reached (queue drained early, or only later events remain) — but
+        **not** when a ``max_events`` break exits with events still due at
+        or before ``until``; fast-forwarding past pending events would let
+        a subsequent ``run()`` execute them behind the clock.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        # Local bindings for the hot loop: each pop otherwise pays several
+        # attribute/global lookups, which dominates at ~10^6 events/s.
         heap = self._heap
+        heappop = heapq.heappop
+        getrefcount = sys.getrefcount
+        freelist = self._free
+        freelist_append = freelist.append
+        strict = self._strict
         processed = 0
         try:
             while heap:
                 time, _seq, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(heap)
+                    heappop(heap)
+                    self._cancelled_pending -= 1
+                    if (len(freelist) < FREELIST_MAX
+                            and getrefcount(event) == _ONLY_ENGINE_REFS):
+                        event._sim = None
+                        freelist_append(event)
                     continue
                 if until is not None and time > until:
                     break
-                heapq.heappop(heap)
-                if self._strict and time < self.now:
+                heappop(heap)
+                if strict and time < self.now:
                     raise SimulationError(
                         f"event surfaced at {time!r} behind the clock "
                         f"{self.now!r} (mutated Event.time?)")
                 self.now = time
                 event.fn(*event.args)
-                self.events_processed += 1
                 processed += 1
+                event._sim = None
+                if (len(freelist) < FREELIST_MAX
+                        and getrefcount(event) == _ONLY_ENGINE_REFS):
+                    event.fn = _noop
+                    event.args = ()
+                    freelist_append(event)
                 if max_events is not None and processed >= max_events:
                     break
         finally:
             self._running = False
+            self.events_processed += processed
         if until is not None and self.now < until:
-            self.now = until
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self.now = until
 
     def step(self) -> bool:
         """Run exactly one pending event.  Returns False if queue is empty."""
         while self._heap:
             time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             if self._strict and time < self.now:
                 raise SimulationError(
@@ -162,14 +263,18 @@ class Simulator:
             self.now = time
             event.fn(*event.args)
             self.events_processed += 1
+            event._sim = None
             return True
         return False
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if drained."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            event = heapq.heappop(heap)[2]
+            self._cancelled_pending -= 1
+            self._recycle(event)
+        return heap[0][0] if heap else None
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
@@ -179,4 +284,6 @@ class Simulator:
         """Drop every pending event (used between experiment repetitions)."""
         for _t, _s, event in self._heap:
             event.cancel()
+            event._sim = None
         self._heap.clear()
+        self._cancelled_pending = 0

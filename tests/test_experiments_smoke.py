@@ -90,3 +90,15 @@ def test_run_incast_steady_state_measurement():
     assert result.fairness > 0.95
     # Steady-state shares sum close to the line rate.
     assert sum(result.tputs_bps) > 8e9
+
+
+def test_meters_default_on_every_runner():
+    # Regression: .meters was assigned ad hoc in run_dumbbell only, so
+    # parking-lot/incast results raised AttributeError on access.
+    from repro.experiments.runners import run_parking_lot
+    incast = run_incast(CUBIC, n_senders=2, duration=0.05, mtu=9000)
+    assert incast.meters == []
+    lot = run_parking_lot(CUBIC, n_senders=2, duration=0.05, mtu=9000)
+    assert lot.meters == []
+    plain = run_dumbbell(CUBIC, pairs=2, duration=0.05, rtt_probe=False)
+    assert plain.meters == []

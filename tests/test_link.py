@@ -118,6 +118,25 @@ def test_switch_port_marks_ect_above_threshold(sim, trap):
     assert port.stats.marked_packets == 1
 
 
+def test_mark_then_drop_neither_stamps_nor_counts(sim, trap):
+    # Queue parked above K while the shared buffer is exactly full: the
+    # arriving ECT packet earns a mark verdict but fails admission.  It
+    # must count as a drop only — no CE stamp, no marker/port mark stats.
+    port, shared, marker = make_switch_port(sim, trap, capacity=2_000, k=1_000)
+    assert port.enqueue(data(1000, ECN_ECT0))       # queue 0 -> no mark
+    assert port.enqueue(data(1000, ECN_ECT0))       # queue 1000 >= K -> marked
+    assert marker.marked_packets == 1
+    victim = data(1000, ECN_ECT0)                   # queue 2000 >= K, buffer full
+    assert not port.enqueue(victim)
+    assert victim.ecn == ECN_ECT0                   # no bogus CE stamp
+    assert port.stats.dropped_packets == 1
+    assert port.stats.marked_packets == 1           # unchanged by the drop
+    assert marker.marked_packets == 1
+    sim.run()
+    # The admitted-and-marked packet (and only it) carried CE to the peer.
+    assert sum(1 for p in trap.packets if p.ce) == 1
+
+
 def test_switch_port_drops_nonect_above_ramp(sim, trap):
     port, _, _ = make_switch_port(sim, trap, k=1_000)
     port.enqueue(data(1000, ECN_NOT_ECT))

@@ -24,6 +24,11 @@ def test_ect_marked_at_threshold():
     p = data_pkt(ECN_ECT0)
     decision = marker.decide(p, 1000)
     assert decision.marked and not decision.drop
+    # The verdict alone neither stamps nor counts: the packet may still be
+    # rejected by shared-buffer admission (mark-then-drop).
+    assert p.ecn == ECN_ECT0
+    assert marker.marked_packets == 0
+    marker.commit_mark(p)
     assert p.ecn == ECN_CE
     assert marker.marked_packets == 1
 
@@ -33,6 +38,8 @@ def test_ce_stays_ce():
     p = data_pkt(ECN_CE)
     decision = marker.decide(p, 5000)
     assert decision.marked and p.ecn == ECN_CE
+    marker.commit_mark(p)
+    assert p.ecn == ECN_CE
 
 
 def test_nonect_dropped_above_ramp_top():

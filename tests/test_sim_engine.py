@@ -149,6 +149,123 @@ def test_run_is_not_reentrant(sim):
     sim.run()
 
 
+def test_max_events_break_does_not_fast_forward_clock(sim):
+    # Regression: the until fast-forward used to fire on *any* exit, so a
+    # max_events break jumped the clock past still-pending events.
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run(until=5.0, max_events=4)
+    assert sim.now == pytest.approx(0.4)
+    assert sim.pending() == 6
+    sim.run(until=5.0)
+    assert sim.pending() == 0
+    assert sim.now == 5.0
+
+
+def test_max_events_break_then_strict_resume():
+    # With the old fast-forward, a strict-mode resume raised ("event
+    # surfaced behind the clock"); events must instead run in order.
+    sim = Simulator(strict=True)
+    fired = []
+    for i in range(6):
+        sim.schedule_at(0.1 * (i + 1), fired.append, i)
+    sim.run(until=2.0, max_events=2)
+    assert fired == [0, 1]
+    sim.run(until=2.0)
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 2.0
+
+
+def test_max_events_exhausting_queue_still_fast_forwards(sim):
+    # When max_events happens to drain the queue, the until bound was
+    # genuinely reached and the throughput-denominator contract holds.
+    for i in range(3):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run(until=5.0, max_events=3)
+    assert sim.now == 5.0
+
+
+def test_fast_forward_skips_only_beyond_bound_events(sim):
+    sim.schedule_at(7.0, lambda: None)
+    sim.run(until=5.0, max_events=10)
+    # The only pending event lies beyond the bound: fast-forward is safe.
+    assert sim.now == 5.0
+
+
+def test_heap_compaction_sheds_cancelled_corpses(sim):
+    from repro.sim.engine import COMPACT_MIN_CANCELLED
+    keep = [sim.schedule_at(10.0 + i, lambda: None) for i in range(4)]
+    corpses = [sim.schedule_at(20.0 + i, lambda: None)
+               for i in range(4 * COMPACT_MIN_CANCELLED)]
+    for event in corpses:
+        event.cancel()
+    assert sim.heap_compactions == 0
+    sim.schedule_at(1.0, lambda: None)  # push triggers the compaction check
+    assert sim.heap_compactions == 1
+    assert len(sim._heap) == len(keep) + 1
+    assert sim.pending() == len(keep) + 1
+    sim.run()
+    assert sim.events_processed == len(keep) + 1
+
+
+def test_heap_compaction_preserves_order_and_determinism():
+    import random
+    rng = random.Random(7)
+    a, b = Simulator(), Simulator()
+    logs = [], []
+    for s, log in zip((a, b), logs):
+        events = []
+        for i in range(2000):
+            if events and rng.random() < 0.6:
+                events.pop(rng.randrange(len(events))).cancel()
+            else:
+                events.append(s.schedule_at(rng.uniform(0, 1), log.append, i))
+        rng = random.Random(7)  # same choices for both simulators
+        s.run()
+    assert logs[0] == logs[1]
+    assert a.heap_compactions == b.heap_compactions
+
+
+def test_freelist_recycles_unreferenced_events(sim):
+    for i in range(50):
+        sim.schedule(0.01 * i, lambda: None)
+    sim.run()
+    assert len(sim._free) > 0
+    # Recycled storage is reused by later schedules.
+    recycled = sim._free[-1]
+    event = sim.schedule(1.0, lambda: None)
+    assert event is recycled
+    assert not event.cancelled
+    sim.run()
+
+
+def test_freelist_never_recycles_held_handles(sim):
+    fired = []
+    held = sim.schedule(0.1, fired.append, "held")
+    sim.run()
+    assert fired == ["held"]
+    # The handle is still referenced here, so it must not be in the pool;
+    # a late cancel() on it must not defuse an unrelated future event.
+    assert held not in sim._free
+    other = sim.schedule(1.0, fired.append, "other")
+    held.cancel()
+    sim.run()
+    assert fired == ["held", "other"]
+    assert not other.cancelled
+
+
+def test_cancelled_pending_counter_stays_exact(sim):
+    events = [sim.schedule_at(1.0 + i, lambda: None) for i in range(10)]
+    for event in events[:5]:
+        event.cancel()
+        event.cancel()  # idempotent: counted once
+    assert sim._cancelled_pending == 5
+    sim.run()
+    assert sim._cancelled_pending == 0
+    sim.clear()
+    assert sim._cancelled_pending == 0
+
+
 def test_determinism_across_instances():
     def build(s):
         log = []
