@@ -86,16 +86,23 @@ class InvariantViolation(AssertionError):
     def __init__(self, invariant: str, detail: str, *,
                  flow=None, sim_time: Optional[float] = None,
                  host: Optional[str] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 flight_dump: Optional[str] = None):
         self.invariant = invariant
         self.detail = detail
         self.flow = flow
         self.sim_time = sim_time
         self.host = host
         self.seed = seed if seed is not None else run_seed()
-        super().__init__(
-            f"[sanitize:{invariant}] {detail} "
-            f"(flow={flow}, t={sim_time}, host={host}, seed={self.seed})")
+        #: Path to the vSwitch's flight-recorder dump (the last N datapath
+        #: decisions before the violation), when one was armed — inspect
+        #: with ``python -m repro.obs timeline <path>``.
+        self.flight_dump = flight_dump
+        message = (f"[sanitize:{invariant}] {detail} "
+                   f"(flow={flow}, t={sim_time}, host={host}, seed={self.seed})")
+        if flight_dump is not None:
+            message += f" [flight recorder dump: {flight_dump}]"
+        super().__init__(message)
 
 
 # ---------------------------------------------------------------------------
@@ -129,13 +136,25 @@ class DatapathSanitizer:
     def __init__(self, vswitch) -> None:
         self.sim = vswitch.sim
         self.host = getattr(vswitch.host, "addr", "?")
+        self._vswitch = vswitch
         #: flow key -> serial high-water of the advertised window edge.
         self._edges: Dict[Tuple, int] = {}
 
     # -- plumbing ----------------------------------------------------------
     def _fail(self, invariant: str, detail: str, flow=None) -> None:
+        # A violation is terminal for the run, so dump the vSwitch's
+        # flight-recorder ring (the last N datapath decisions, including
+        # the offending one) and attach the path to the exception.
+        dump_path = None
+        flight = getattr(self._vswitch, "flight", None)
+        if flight is not None and len(flight):
+            try:
+                dump_path = flight.dump(tag=invariant)
+            except OSError:
+                dump_path = None  # diagnostics must never mask the failure
         raise InvariantViolation(invariant, detail, flow=flow,
-                                 sim_time=self.sim.now, host=self.host)
+                                 sim_time=self.sim.now, host=self.host,
+                                 flight_dump=dump_path)
 
     def _feedback_registry(self) -> Dict[Tuple, Tuple[int, int]]:
         reg = getattr(self.sim, "_sanitize_feedback_highwater", None)

@@ -26,6 +26,7 @@ from typing import Callable, Optional, TYPE_CHECKING
 
 from ..analysis import sanitize
 from ..net.packet import ECN_ECT0, FlowKey, Packet
+from ..obs import WARNING, FlightRecorder, ObsContext
 from ..sim.timers import Timer
 from .ecn import mark_egress_data, scrub_ingress_ack, scrub_ingress_data
 from .enforcement import Policer, WindowEnforcer
@@ -60,6 +61,9 @@ class AcdcConfig:
     # Runtime invariant sanitizer (repro.analysis.sanitize): True/False
     # forces it for this datapath, None defers to REPRO_SANITIZE.
     sanitize: Optional[bool] = None
+    # Structured tracing (repro.obs): True/False forces it for this
+    # datapath, None defers to whether an ObsContext was supplied.
+    trace: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.feedback_mode not in ("pack", "fack-only"):
@@ -77,6 +81,7 @@ class AcdcVswitch:
         ops: Optional[OpsCounter] = None,
         window_cb: Optional[WindowCallback] = None,
         guard=None,
+        obs: Optional[ObsContext] = None,
     ):
         self.sim = host.sim
         self.host = host
@@ -92,16 +97,30 @@ class AcdcVswitch:
         )
         self.table.start_gc()
         self.policer = Policer(self.config.policing_slack_segments)
-        # Adversarial-tenant protection (repro.guard.Guard, optional):
-        # conformance monitoring, escalation, watchdog load shedding.
-        self.guard = guard
-        if guard is not None:
-            guard.attach(self)
         # Invariant probes (repro.analysis.sanitize).  None when off, so
         # the datapath pays one `is None` test per hook and nothing else.
         sanitize_on = (self.config.sanitize if self.config.sanitize is not None
                        else sanitize.is_enabled())
+        # Structured tracing (repro.obs): same `is None` contract.  The
+        # flight recorder arms under *either* debugging mode so invariant
+        # violations always come with a decision log.
+        trace_on = (self.config.trace if self.config.trace is not None
+                    else obs is not None)
+        if trace_on and obs is None:
+            obs = ObsContext(self.sim)
+        self.obs = obs
+        self.trace = obs.bus if (trace_on and obs is not None) else None
+        self.flight = (FlightRecorder(self.sim, name=str(host.addr))
+                       if (trace_on or sanitize_on) else None)
+        if obs is not None:
+            obs.register_vswitch(self)
         self.sanitizer = sanitize.DatapathSanitizer(self) if sanitize_on else None
+        # Adversarial-tenant protection (repro.guard.Guard, optional):
+        # conformance monitoring, escalation, watchdog load shedding.
+        # Attached after tracing so the guard's ledgers can bind the bus.
+        self.guard = guard
+        if guard is not None:
+            guard.attach(self)
         # Fault-recovery accounting (see repro.faults): state losses this
         # vSwitch suffered and flow entries rebuilt mid-flow afterwards.
         self.restarts = 0
@@ -125,7 +144,11 @@ class AcdcVswitch:
 
     def _ensure_both_directions(self, pkt: Packet) -> None:
         """SYN handling: create entries for both flow directions (§4)."""
+        tr = self.trace
         for key in (pkt.flow_key(), pkt.reverse_key()):
+            if tr is not None and key not in self.table.entries:
+                tr.emit("flow.state", flow=key, component="vswitch",
+                        state="insert")
             entry = self.table.ensure(key, self.policy.policy_for(key), self.mss)
             self._apply_config_floor(entry)
         self.ops.record("flow_insert", 2)
@@ -144,6 +167,11 @@ class AcdcVswitch:
         self._apply_config_floor(entry)
         self.resurrections += 1
         self.ops.record("flow_resurrect")
+        if self.trace is not None:
+            self.trace.emit("flow.state", flow=key, component="vswitch",
+                            severity=WARNING, state="resurrect")
+        if self.flight is not None:
+            self.flight.note("flow.state", key, state="resurrect")
         if self.sanitizer is not None:
             # The rebuilt entry restarts its window tracking from scratch;
             # stale edge high-water would read as a (false) retreat.
@@ -160,6 +188,11 @@ class AcdcVswitch:
         for key in list(self.table.entries):
             self.table.remove(key)
         self.restarts += 1
+        if self.trace is not None:
+            self.trace.emit("flow.state", component="vswitch",
+                            severity=WARNING, state="restart")
+        if self.flight is not None:
+            self.flight.note("flow.state", state="restart")
 
     # ------------------------------------------------------------------
     # Egress: VM -> wire
@@ -225,6 +258,9 @@ class AcdcVswitch:
         if mark_egress_data(pkt):
             self.ops.record("ecn_mark")
             self.ops.record("checksum_recalc")
+            if self.trace is not None:
+                self.trace.emit("ecn.mark", flow=entry.key,
+                                component="vswitch", direction="egress")
         entry.vm_ect = pkt.vm_ect
         if self.guard is not None and not self.guard.on_egress_data(entry, pkt):
             return None
@@ -234,6 +270,13 @@ class AcdcVswitch:
             base = snd_una if snd_una is not None else pkt.seq
             if not self.policer.allow(pkt, base, entry.enforced_wnd, self.mss,
                                       wscale=entry.peer_wscale):
+                if self.trace is not None:
+                    self.trace.emit("policer.drop", flow=entry.key,
+                                    component="vswitch", severity=WARNING,
+                                    reason="window_overrun")
+                if self.flight is not None:
+                    self.flight.note("policer.drop", entry.key,
+                                     reason="window_overrun", seq=pkt.seq)
                 return None
         self._arm_inactivity(entry)
         return pkt
@@ -349,14 +392,28 @@ class AcdcVswitch:
                                       total_delta, marked_delta)
         if pkt.is_fack:
             return True  # dropped after logging the data (§3.2)
+        rewritten = False
         if self.config.enforce and not self.config.log_only:
             rewritten = entry.enforcer.enforce(pkt, wnd, entry.peer_wscale)
             if rewritten:
                 self.ops.record("rwnd_rewrite")
                 self.ops.record("checksum_recalc")
-            if san is not None:
-                san.check_rewrite(entry.key, pkt, wnd, entry.peer_wscale,
-                                  rewritten)
+        # The flight note lands *before* the sanitizer check so a lying
+        # rewrite's dump contains the offending decision.
+        if self.flight is not None:
+            self.flight.note("rwnd.rewrite", entry.key, wnd_bytes=wnd,
+                             rewritten=rewritten, rwnd_field=pkt.rwnd_field,
+                             wscale=entry.peer_wscale)
+        if san is not None and self.config.enforce and not self.config.log_only:
+            san.check_rewrite(entry.key, pkt, wnd, entry.peer_wscale,
+                              rewritten)
+        # Emitted in log-only mode too (rewritten=False): Fig. 9 overlays
+        # the would-be vSwitch window against the guest's CWND.
+        if self.trace is not None:
+            self.trace.emit(
+                "rwnd.rewrite", flow=entry.key, component="vswitch",
+                wnd_bytes=wnd, rewritten=rewritten,
+                visible_bytes=pkt.advertised_window(entry.peer_wscale))
         if san is not None:
             guard_state = entry.guard_state
             san.note_advertised_edge(
@@ -429,6 +486,13 @@ class AcdcVswitch:
             wnd = entry.vswitch_cc.on_timeout(
                 entry.conntrack.snd_una or 0, entry.conntrack.snd_nxt or 0)
             entry.enforced_wnd = wnd
+            if self.trace is not None:
+                self.trace.emit("flow.state", flow=entry.key,
+                                component="vswitch", severity=WARNING,
+                                state="timeout", wnd_bytes=wnd)
+            if self.flight is not None:
+                self.flight.note("flow.state", entry.key, state="timeout",
+                                 wnd_bytes=wnd)
             if self.window_cb is not None:
                 self.window_cb(entry.key, self.sim.now, wnd)
             if self.guard is not None and not entry.shed:

@@ -133,6 +133,10 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced scale (CI smoke runs); only honoured "
                              "by experiments with a quick mode")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="run with structured tracing on and export "
+                             "the event stream as JSONL to PATH (inspect "
+                             "with python -m repro.obs)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -157,6 +161,12 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         kwargs["seeds"] = [int(s) for s in args.seeds.split(",") if s]
+    if args.trace is not None:
+        if "trace_path" not in supported:
+            print(f"{args.experiment!r} does not support --trace",
+                  file=sys.stderr)
+            return 2
+        kwargs["trace_path"] = args.trace
     try:
         result = run(**_filter_kwargs(kwargs, supported))
     except TypeError:

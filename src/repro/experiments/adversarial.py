@@ -33,7 +33,8 @@ from typing import Dict, List, Optional, Sequence
 from ..core import AcdcConfig
 from ..faults import EcnBleach, OptionStrip, install_faults
 from ..guard import Guard, GuardConfig
-from ..metrics import EventLog, FaultRecorder, jain_index
+from ..metrics import jain_index
+from ..obs.adapters import EventLogAdapter, FaultRecorderAdapter
 from ..net.topology import star
 from ..runtime import RunSpec, Runtime
 from ..sim import Simulator
@@ -74,8 +75,8 @@ def run_point(
     violators = senders[:n_violators]
     violator_addrs = {h.addr for h in violators}
 
-    events = EventLog()
-    recorder = FaultRecorder()
+    events = EventLogAdapter()
+    recorder = FaultRecorderAdapter()
     guards: List[Guard] = []
 
     def guard_factory(host) -> Optional[Guard]:
@@ -159,8 +160,8 @@ def run_pressure(seed: int = 0, n_senders: int = 8,
                                mtu=1500, seed=seed,
                                **switch_opts(ACDC, MACRO_RATE))
     senders, receiver = hosts[:n_senders], hosts[-1]
-    events = EventLog()
-    recorder = FaultRecorder()
+    events = EventLogAdapter()
+    recorder = FaultRecorderAdapter()
     guards: Dict[str, Guard] = {}
 
     def guard_factory(host):

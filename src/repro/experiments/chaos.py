@@ -33,7 +33,7 @@ from ..faults import (
     VswitchRestart,
     install_faults,
 )
-from ..metrics import FaultRecorder
+from ..obs.adapters import FaultRecorderAdapter
 from ..net.topology import star
 from ..runtime import RunSpec, Runtime
 from ..sim import Simulator
@@ -83,7 +83,7 @@ def run_point(scheme: Scheme, intensity: float, seed: int = 0,
                                seed=seed, **switch_opts(scheme, MICRO_RATE))
     senders, receiver = hosts[:2], hosts[2]
     vswitches = attach_vswitches(scheme, hosts)
-    recorder = FaultRecorder()
+    recorder = FaultRecorderAdapter()
     chains: List[Fault] = []
     # Fault chains sit on the senders' wires only: every packet crosses
     # exactly one chain, so each injector acts at its nominal rate (a

@@ -71,12 +71,15 @@ def attach_vswitches(
     policy: Optional[PolicyEngine] = None,
     window_cb=None,
     guard_factory=None,
+    obs=None,
 ) -> Dict[str, object]:
     """Instantiate the scheme's datapath on every host.
 
     ``guard_factory``, if given, is called per AC/DC host and returns a
     fresh :class:`repro.guard.Guard` (or None) to attach to that host's
-    vSwitch — a Guard binds to exactly one datapath.
+    vSwitch — a Guard binds to exactly one datapath.  ``obs``, if given,
+    is the run's :class:`repro.obs.ObsContext`; each AC/DC vSwitch
+    registers with it and traces onto its bus.
 
     Returns ``{host addr: vswitch}`` so experiments can read flow tables,
     op counters and enforcement stats afterwards.
@@ -88,7 +91,7 @@ def attach_vswitches(
             guard = guard_factory(host) if guard_factory is not None else None
             vsw = AcdcVswitch(host, config=config, policy=policy,
                               ops=OpsCounter(), window_cb=window_cb,
-                              guard=guard)
+                              guard=guard, obs=obs)
         else:
             vsw = PlainOvs(host, ops=OpsCounter())
         host.attach_vswitch(vsw)

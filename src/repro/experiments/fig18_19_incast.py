@@ -24,18 +24,32 @@ SENDER_COUNTS = (16, 32, 40, 47)
 
 
 def _cell(scheme: str, n_senders: int, duration: float, mtu: int,
-          seed: int) -> dict:
-    """Runtime worker: one (scheme, fan-in, seed) cell, JSON kwargs only."""
+          seed: int, telemetry: bool = False) -> dict:
+    """Runtime worker: one (scheme, fan-in, seed) cell, JSON kwargs only.
+
+    ``telemetry=True`` attaches an :class:`~repro.obs.ObsContext` and
+    returns its deterministic snapshot plus the raw trace records — the
+    payload the runtime byte-identity tests compare across serial, pool
+    and cache-replay execution.
+    """
+    obs = None
+    if telemetry:
+        from ..obs import ObsContext
+        obs = ObsContext()
     r = run_incast(SCHEME_BY_NAME[scheme], n_senders=n_senders,
-                   duration=duration, mtu=mtu, seed=seed)
+                   duration=duration, mtu=mtu, seed=seed, obs=obs)
     rtt = r.rtt_samples
-    return {
+    out: Dict[str, object] = {
         "avg_tput_mbps": r.avg_tput_bps / 1e6,
         "fairness": r.fairness,
         "rtt_p50_ms": percentile(rtt, 50) * 1e3 if rtt else float("nan"),
         "rtt_p999_ms": percentile(rtt, 99.9) * 1e3 if rtt else float("nan"),
         "drop_rate_pct": r.drop_rate * 100.0,
     }
+    if obs is not None:
+        out["telemetry"] = r.telemetry
+        out["trace"] = obs.bus.records()
+    return out
 
 
 def run(counts: Sequence[int] = SENDER_COUNTS, duration: float = 0.4,

@@ -39,6 +39,11 @@ class RunResult:
     meters: List[ThroughputMeter] = field(default_factory=list)
     sim: Optional[Simulator] = None
     topology: Optional[object] = None
+    #: Deterministic metric/trace snapshot (``ObsContext.snapshot()``);
+    #: empty unless the runner was given an ``obs`` context.
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    #: The live ObsContext (trace bus, registry) for post-run inspection.
+    obs: Optional[object] = None
 
     @property
     def fairness(self) -> float:
@@ -80,6 +85,7 @@ def run_dumbbell(
     stop_times: Optional[Sequence[float]] = None,
     tput_meters: bool = False,
     window_probe=None,
+    obs=None,
 ) -> RunResult:
     """Long-lived flows s_i -> r_i on the Fig. 7a dumbbell.
 
@@ -92,9 +98,12 @@ def run_dumbbell(
     topo, senders, receivers = dumbbell(
         sim, pairs=pairs, rate_bps=rate_bps, mtu=mtu, seed=seed,
         **switch_opts(scheme, rate_bps))
+    if obs is not None:
+        obs.bind(sim)
+        obs.attach_topology(topo)
     vsw = attach_vswitches(scheme, senders + receivers,
                            acdc_config=acdc_config, policy=policy,
-                           window_cb=window_cb)
+                           window_cb=window_cb, obs=obs)
     result = RunResult(scheme=scheme.name, duration=duration, vswitches=vsw,
                        sim=sim, topology=topo)
     meters = []
@@ -138,6 +147,9 @@ def run_dumbbell(
     result.rtt_samples = rtt_rec.samples
     result.drop_rate = _total_drop_rate(topo)
     result.meters = meters
+    if obs is not None:
+        result.obs = obs
+        result.telemetry = obs.snapshot()
     return result
 
 
@@ -148,13 +160,17 @@ def run_parking_lot(
     mtu: int = 9000,
     rate_bps: float = 10e9,
     seed: int = 0,
+    obs=None,
 ) -> RunResult:
     """The Fig. 7b multi-bottleneck topology, one long flow per sender."""
     sim = Simulator()
     topo, senders, receiver = parking_lot(
         sim, senders=n_senders, rate_bps=rate_bps, mtu=mtu, seed=seed,
         **switch_opts(scheme, rate_bps))
-    vsw = attach_vswitches(scheme, senders + [receiver])
+    if obs is not None:
+        obs.bind(sim)
+        obs.attach_topology(topo)
+    vsw = attach_vswitches(scheme, senders + [receiver], obs=obs)
     result = RunResult(scheme=scheme.name, duration=duration, vswitches=vsw,
                        sim=sim, topology=topo)
     opts = scheme.conn_opts()
@@ -171,6 +187,9 @@ def run_parking_lot(
     result.tputs_bps = [f.bytes_acked * 8 / duration for f in result.flows]
     result.rtt_samples = rtt_rec.samples
     result.drop_rate = _total_drop_rate(topo)
+    if obs is not None:
+        result.obs = obs
+        result.telemetry = obs.snapshot()
     return result
 
 
@@ -183,6 +202,7 @@ def run_incast(
     seed: int = 0,
     acdc_config: Optional[AcdcConfig] = None,
     guest_dctcp_floor_mss: Optional[int] = None,
+    obs=None,
 ) -> RunResult:
     """N-to-1 incast of long-lived flows on a star (Fig. 18/19).
 
@@ -194,7 +214,10 @@ def run_incast(
         sim, n_senders + 1, rate_bps=rate_bps, mtu=mtu, seed=seed,
         **switch_opts(scheme, rate_bps))
     receiver, senders = hosts[0], hosts[1:]
-    vsw = attach_vswitches(scheme, hosts, acdc_config=acdc_config)
+    if obs is not None:
+        obs.bind(sim)
+        obs.attach_topology(topo)
+    vsw = attach_vswitches(scheme, hosts, acdc_config=acdc_config, obs=obs)
     result = RunResult(scheme=scheme.name, duration=duration, vswitches=vsw,
                        sim=sim, topology=topo)
     opts = scheme.conn_opts()
@@ -231,4 +254,7 @@ def run_incast(
     ]
     result.rtt_samples = rtt_rec.samples
     result.drop_rate = _total_drop_rate(topo)
+    if obs is not None:
+        result.obs = obs
+        result.telemetry = obs.snapshot()
     return result

@@ -373,7 +373,13 @@ class FaultyDatapath:
         self.sim = host.sim
         self.inner = inner
         self.faults: List[Fault] = list(faults)
-        self.recorder = recorder if recorder is not None else FaultRecorder()
+        if recorder is None:
+            # Default ledger is the obs adapter bound to the wrapped
+            # datapath's trace bus (if any): a traced run sees every
+            # injected fault as a ``fault.inject`` event for free.
+            from ..obs.adapters import FaultRecorderAdapter
+            recorder = FaultRecorderAdapter(getattr(inner, "trace", None))
+        self.recorder = recorder
         for fault in self.faults:
             fault.attach(self)
 

@@ -17,7 +17,10 @@ All transitions are recorded twice: per-cause counts in a
 :class:`~repro.metrics.collectors.FaultRecorder` (cheap assertions) and
 the full ordered sequence in an
 :class:`~repro.metrics.collectors.EventLog` (determinism signatures,
-audit trail).
+audit trail).  The default ledgers are the ``repro.obs`` adapters: when
+the attached vSwitch carries a trace bus, every guard transition is
+mirrored onto it as a ``guard.*`` event, and — when the vSwitch has a
+flight recorder armed — noted into its decision ring too.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from typing import Optional
 from ..core.enforcement import encoded_window_bytes
 from ..core.vswitch_cc import make_vswitch_cc
 from ..metrics.collectors import EventLog, FaultRecorder
+from ..obs.adapters import EventLogAdapter, FaultRecorderAdapter
 from ..sim.rng import RngFactory
 from .config import GuardConfig
 from .escalation import EscalationEngine
@@ -50,8 +54,13 @@ class Guard:
                  recorder: Optional[FaultRecorder] = None,
                  events: Optional[EventLog] = None):
         self.config = config if config is not None else GuardConfig()
-        self.recorder = recorder if recorder is not None else FaultRecorder()
-        self.events = events if events is not None else EventLog()
+        # The recorder adapter stays bus-unbound inside the guard: its
+        # counts are keyed by guard kind, and mirroring them would emit
+        # them as (wrong) ``fault.inject`` events.  The *event log* is
+        # what binds to the vSwitch's bus at attach().
+        self.recorder = (recorder if recorder is not None
+                         else FaultRecorderAdapter())
+        self.events = events if events is not None else EventLogAdapter()
         self._rngs = RngFactory(self.config.seed)
         # Bound at attach() time.
         self.vswitch = None
@@ -73,6 +82,11 @@ class Guard:
         self.vswitch = vswitch
         self.sim = vswitch.sim
         self.mss = vswitch.mss
+        bus = getattr(vswitch, "trace", None)
+        if bus is not None:
+            bind = getattr(self.events, "bind_bus", None)
+            if bind is not None:
+                bind(bus)
         self.monitor = ConformanceMonitor(self.config, self.mss)
         self.escalation = EscalationEngine(
             self.config, self.mss, vswitch.policy, self._notify)
@@ -86,6 +100,9 @@ class Guard:
     def _notify(self, kind: str, entry, **detail) -> None:
         self.recorder.record(kind)
         self.events.record(self.sim.now, kind, flow=entry.key, **detail)
+        flight = getattr(self.vswitch, "flight", None)
+        if flight is not None:
+            flight.note("guard.event", entry.key, kind=kind, **detail)
 
     def conformance(self, entry) -> FlowConformance:
         if entry.guard_state is None:

@@ -8,6 +8,7 @@ TCP application that measures flow completion times.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -30,19 +31,29 @@ class ThroughputMeter:
         self.interval = interval_s
         self.series: List[Tuple[float, float]] = []
         self._last_bytes = 0
+        self._last_time = sim.now
         self._timer = PeriodicTimer(sim, interval_s, self._sample)
 
     def start(self) -> None:
         self._last_bytes = self.byte_source()
+        self._last_time = self.sim.now
         self._timer.start()
 
     def stop(self) -> None:
         self._timer.stop()
 
     def _sample(self) -> None:
+        # Rate over the *actual* elapsed virtual time since the previous
+        # sample, not the configured interval: a meter started mid-run or
+        # restarted after stop() would otherwise misreport its first
+        # window (and any tick the timer delivered late).
         current = self.byte_source()
-        bps = (current - self._last_bytes) * 8.0 / self.interval
+        elapsed = self.sim.now - self._last_time
+        if elapsed <= 0.0:
+            return
+        bps = (current - self._last_bytes) * 8.0 / elapsed
         self._last_bytes = current
+        self._last_time = self.sim.now
         self.series.append((self.sim.now, bps))
 
     def average_bps(self) -> float:
@@ -154,9 +165,18 @@ class EventLog:
     Complements :class:`FaultRecorder`'s per-cause counts with the full
     (time, kind, flow, detail) sequence, which is what determinism
     assertions and the DESIGN.md state-machine audit trail consume.
+
+    .. deprecated::
+        Prefer :class:`repro.obs.adapters.EventLogAdapter` — the same
+        ledger, plus every record mirrored onto the run's trace bus.
     """
 
     def __init__(self) -> None:
+        if type(self) is EventLog:
+            warnings.warn(
+                "EventLog is deprecated; use "
+                "repro.obs.adapters.EventLogAdapter (same API, trace-bus "
+                "aware)", DeprecationWarning, stacklevel=2)
         self.events: List[Event] = []
 
     def record(self, time: float, kind: str, flow=None, **detail) -> None:
@@ -185,9 +205,18 @@ class FaultRecorder:
     "duplicate", "reorder", "delay", "link_flap", "vswitch_restart"), so
     experiments can assert that the counters sum to the events the
     injectors report and break degradation down by cause.
+
+    .. deprecated::
+        Prefer :class:`repro.obs.adapters.FaultRecorderAdapter` — the
+        same ledger, plus every record mirrored onto the trace bus.
     """
 
     def __init__(self) -> None:
+        if type(self) is FaultRecorder:
+            warnings.warn(
+                "FaultRecorder is deprecated; use "
+                "repro.obs.adapters.FaultRecorderAdapter (same API, "
+                "trace-bus aware)", DeprecationWarning, stacklevel=2)
         self.counts: Counter = Counter()
 
     def record(self, cause: str, n: int = 1) -> None:

@@ -28,6 +28,9 @@ class SharedBuffer:
         self.capacity = capacity_bytes
         self.dt_alpha = dt_alpha
         self.used = 0
+        #: High-water mark of ``used`` (telemetry; never read by the DT
+        #: admission math).
+        self.peak_used = 0
         self._queues: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -65,6 +68,8 @@ class SharedBuffer:
             return False
         self._queues[queue_id] = occupancy + nbytes
         self.used += nbytes
+        if self.used > self.peak_used:
+            self.peak_used = self.used
         return True
 
     def release(self, queue_id: int, nbytes: int) -> None:

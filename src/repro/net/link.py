@@ -159,15 +159,26 @@ class SwitchTxPort(TxPort):
         self._accounting = (
             sanitize.PortAccounting(name, queue_id)
             if sanitize.is_enabled() else None)
+        # Telemetry hook (repro.obs.context.PortObs); same one-None-test
+        # contract as the sanitizer accounting above.
+        self._obs = None
+
+    def attach_obs(self, port_obs) -> None:
+        """Install the observability hook for this port (see repro.obs)."""
+        self._obs = port_obs
 
     def _admit(self, packet: Packet) -> bool:
         acct = self._accounting
         if acct is not None:
             acct.on_offer(packet.size)
-        decision = self.marker.decide(packet, self.shared.queue_bytes(self.queue_id))
+        obs = self._obs
+        qb = self.shared.queue_bytes(self.queue_id)
+        decision = self.marker.decide(packet, qb)
         if decision.drop:
             if acct is not None:
                 acct.on_drop(packet.size)
+            if obs is not None:
+                obs.on_enqueue(qb, False, False)
             return False
         if not self.shared.try_admit(self.queue_id, packet.size):
             # A mark-then-drop packet must not count as marked nor carry a
@@ -175,12 +186,16 @@ class SwitchTxPort(TxPort):
             # committed only after shared-buffer admission succeeds.
             if acct is not None:
                 acct.on_drop(packet.size)
+            if obs is not None:
+                obs.on_enqueue(qb, False, False)
             return False
         if decision.marked:
             self.marker.commit_mark(packet)
             self.stats.marked_packets += 1
         if acct is not None:
             acct.check(self.shared, self.sim)
+        if obs is not None:
+            obs.on_enqueue(qb, True, decision.marked)
         return True
 
     def _release(self, packet: Packet) -> None:

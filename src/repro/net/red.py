@@ -92,3 +92,8 @@ class EcnMarker:
         """Stamp CE on an *admitted* packet whose decision was ``marked``."""
         packet.ecn = ECN_CE
         self.marked_packets += 1
+
+    def snapshot(self) -> dict:
+        """Counters in metric-source shape (see repro.obs)."""
+        return {"marked_packets": self.marked_packets,
+                "dropped_packets": self.dropped_packets}

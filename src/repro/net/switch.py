@@ -67,6 +67,10 @@ class Switch:
             raise KeyError(f"{self.name}: unknown port {port_id}")
         self.fib[dst_addr] = port_id
 
+    def attach_obs(self, obs) -> None:
+        """Instrument this switch and its ports (see repro.obs)."""
+        obs.register_switch(self)
+
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         """Forward an arriving packet toward its destination."""

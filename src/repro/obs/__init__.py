@@ -1,0 +1,65 @@
+"""Unified telemetry for the reproduction (DESIGN.md §11).
+
+One simulation-time-aware observability layer that every subsystem emits
+into, replacing the ad-hoc logging each PR grew on its own
+(``EventLog``, ``FaultRecorder``, guard signatures, sanitizer prints):
+
+* :mod:`repro.obs.trace` — the structured **trace bus**: typed,
+  schema'd events (``rwnd.rewrite``, ``ecn.mark``, ``guard.escalate``,
+  ``fault.inject``, ...) with per-flow/per-component scoping, severity
+  levels and deterministic counter-based sampling;
+* :mod:`repro.obs.metrics` — the **metric registry**: named counters,
+  gauges and fixed-bucket histograms, snapshotted deterministically
+  into ``RunResult.telemetry``;
+* :mod:`repro.obs.recorder` — the **flight recorder**: a bounded
+  per-vSwitch ring buffer of the last datapath decisions, dumped on
+  :class:`~repro.analysis.sanitize.InvariantViolation` or on demand;
+* :mod:`repro.obs.export` — JSONL/CSV writers for trace streams;
+* :mod:`repro.obs.adapters` — drop-in ``EventLog``/``FaultRecorder``
+  subclasses that mirror their records onto the bus;
+* ``python -m repro.obs`` — ``summary`` / ``grep`` / ``timeline``
+  inspection of an exported trace.
+
+Zero-cost-off contract: instrumented objects hold ``None`` instead of a
+bus/recorder when telemetry is off and pay one ``is None`` test per
+hook — the same idiom as the runtime sanitizer.  All timestamps come
+from ``sim.now``; nothing in this package reads the wall clock.
+"""
+
+from .context import ObsContext, PortObs
+from .export import read_jsonl, write_csv, write_jsonl
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .recorder import FlightRecorder
+from .trace import (
+    DEBUG,
+    ERROR,
+    EVENT_SCHEMAS,
+    INFO,
+    WARNING,
+    TraceBus,
+    TraceConfig,
+    TraceEvent,
+    format_flow,
+)
+
+__all__ = [
+    "Counter",
+    "DEBUG",
+    "ERROR",
+    "EVENT_SCHEMAS",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "INFO",
+    "MetricRegistry",
+    "ObsContext",
+    "PortObs",
+    "TraceBus",
+    "TraceConfig",
+    "TraceEvent",
+    "WARNING",
+    "format_flow",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,96 @@
+"""Thin adapters migrating the ad-hoc ledgers onto the trace bus.
+
+:class:`EventLogAdapter` and :class:`FaultRecorderAdapter` are drop-in
+subclasses of the deprecated :class:`~repro.metrics.collectors.EventLog`
+/ :class:`~repro.metrics.collectors.FaultRecorder`: they keep the exact
+ledger behaviour existing callers and determinism signatures rely on
+(``record``, ``kinds``, ``signature``, ``snapshot``, ``merge``, ...)
+and additionally mirror every record onto a
+:class:`~repro.obs.trace.TraceBus` when one is bound.  Unbound (the
+default), they are pure ledgers — and, being subclasses, they do not
+trigger the base classes' deprecation warning.
+
+Guard ``kind`` strings map onto dedicated ``guard.*`` event types;
+unmapped kinds ride the ``guard.event`` catch-all so a new guard
+notification can never silently vanish from a trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..metrics.collectors import EventLog, FaultRecorder
+from .trace import EVENT_SCHEMAS, INFO, WARNING, TraceBus
+
+#: Guard notification kind -> trace event type.
+GUARD_KIND_TO_TYPE: Dict[str, str] = {
+    "guard_escalate": "guard.escalate",
+    "guard_deescalate": "guard.deescalate",
+    "guard_police_drop": "guard.police_drop",
+    "guard_quarantine_drop": "guard.quarantine_drop",
+    "guard_feedback_fallback": "guard.feedback_fallback",
+    "guard_shed": "guard.shed",
+    "guard_unshed": "guard.unshed",
+}
+
+#: Enforcement actions and ladder climbs warrant attention; bookkeeping
+#: transitions stay informational.
+_WARN_TYPES = frozenset({
+    "guard.escalate", "guard.police_drop", "guard.quarantine_drop",
+    "guard.feedback_fallback", "guard.shed",
+})
+
+
+class EventLogAdapter(EventLog):
+    """An :class:`EventLog` that mirrors records onto the trace bus."""
+
+    def __init__(self, bus: Optional[TraceBus] = None):
+        super().__init__()
+        self.bus = bus
+
+    def bind_bus(self, bus: Optional[TraceBus]) -> None:
+        """Late binding: the guard learns its vSwitch (and with it the
+        run's bus) only at attach time."""
+        self.bus = bus
+
+    def record(self, time: float, kind: str, flow=None, **detail) -> None:
+        super().record(time, kind, flow=flow, **detail)
+        bus = self.bus
+        if bus is None:
+            return
+        type_ = GUARD_KIND_TO_TYPE.get(kind)
+        if type_ is None:
+            type_ = "guard.event"
+            detail = dict(detail)
+            detail["kind"] = kind
+        severity = WARNING if type_ in _WARN_TYPES else INFO
+        bus.emit(type_, flow=flow, component="guard", severity=severity,
+                 **detail)
+
+
+class FaultRecorderAdapter(FaultRecorder):
+    """A :class:`FaultRecorder` that mirrors records onto the trace bus.
+
+    ``FaultRecorder.record`` carries no timestamp, so the mirrored
+    ``fault.inject`` event is stamped from the bus's simulator clock —
+    injectors record at the instant the fault fires, which is exactly
+    the bus's ``sim.now``.
+    """
+
+    def __init__(self, bus: Optional[TraceBus] = None):
+        super().__init__()
+        self.bus = bus
+
+    def bind_bus(self, bus: Optional[TraceBus]) -> None:
+        self.bus = bus
+
+    def record(self, cause: str, n: int = 1) -> None:
+        super().record(cause, n)
+        bus = self.bus
+        if bus is not None:
+            bus.emit("fault.inject", component="faults", severity=WARNING,
+                     cause=cause, n=n)
+
+
+__all__ = ["EventLogAdapter", "FaultRecorderAdapter", "GUARD_KIND_TO_TYPE",
+           "EVENT_SCHEMAS"]

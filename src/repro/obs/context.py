@@ -1,0 +1,156 @@
+"""The per-run observability context: one bus + one registry.
+
+An :class:`ObsContext` bundles the trace bus and the metric registry
+for one run and knows how to instrument the repo's building blocks:
+vSwitches (:meth:`register_vswitch`), switches and their ports
+(:meth:`register_switch` / :meth:`attach_topology`) and the engine
+itself (:meth:`bind`).
+
+It may be created *unbound* — before the runner has built the
+:class:`~repro.sim.engine.Simulator` — so experiment code can wire
+probes first and hand the context to a runner, which binds it; see
+``repro.experiments.runners``.
+
+:meth:`snapshot` produces the deterministic JSON-able dict stored in
+``RunResult.telemetry``: metric values are read once, sorted by name,
+and contain nothing host-dependent, so serial, pool and cache-replay
+paths of the experiment runtime stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .metrics import MetricRegistry, pow2_bounds
+from .trace import INFO, TraceBus, TraceConfig
+
+#: Queue-occupancy histogram buckets: 1.5 KB frames, power-of-two up to
+#: beyond the modelled 9 MB shared buffer.
+QUEUE_BYTES_BOUNDS = pow2_bounds(1500, 14)
+
+
+class PortObs:
+    """Per-switch-port hook object (held by ``SwitchTxPort._obs``).
+
+    One object bundles everything a port touches at enqueue so the
+    datapath pays a single ``is None`` test when observability is off.
+    """
+
+    __slots__ = ("bus", "hist", "component")
+
+    def __init__(self, bus: TraceBus, hist, component: str):
+        self.bus = bus
+        self.hist = hist
+        self.component = component
+
+    def on_enqueue(self, queue_bytes: int, admitted: bool,
+                   marked: bool) -> None:
+        self.hist.record(queue_bytes)
+        self.bus.emit("buffer.occupancy", component=self.component,
+                      severity=INFO, queue_bytes=queue_bytes,
+                      admitted=admitted, marked=marked)
+
+
+class ObsContext:
+    """Trace bus + metric registry for one run."""
+
+    def __init__(self, sim=None, config: Optional[TraceConfig] = None):
+        self.sim = sim
+        self.bus = TraceBus(sim, config)
+        self.registry = MetricRegistry()
+        self.vswitches: List[object] = []
+        self.switches: List[object] = []
+        if sim is not None:
+            self._register_engine(sim)
+
+    # ------------------------------------------------------------------
+    def bind(self, sim) -> None:
+        """Attach the run's simulator (idempotent for the same one)."""
+        if self.sim is sim:
+            return
+        if self.sim is not None:
+            raise RuntimeError("ObsContext is already bound to a simulator")
+        self.sim = sim
+        self.bus.bind(sim)
+        self._register_engine(sim)
+
+    def _register_engine(self, sim) -> None:
+        self.registry.source("engine", lambda s=sim: {
+            "events_processed": s.events_processed,
+            "events_scheduled": s.events_scheduled,
+            "heap_compactions": s.heap_compactions,
+        })
+
+    # ------------------------------------------------------------------
+    def register_vswitch(self, vswitch) -> None:
+        """Expose one AC/DC vSwitch's counters as metric sources."""
+        if vswitch in self.vswitches:
+            return
+        self.vswitches.append(vswitch)
+        addr = getattr(vswitch.host, "addr", f"vswitch{len(self.vswitches)}")
+        prefix = f"vswitch.{addr}"
+        self.registry.source(f"{prefix}.ops", lambda v=vswitch: {
+            "packets_egress": v.ops.packets_egress,
+            "packets_ingress": v.ops.packets_ingress,
+            **v.ops.snapshot(),
+        })
+        self.registry.source(f"{prefix}.flow_table", lambda v=vswitch: {
+            "entries": len(v.table.entries),
+            "restarts": v.restarts,
+            "resurrections": v.resurrections,
+        })
+        self.registry.source(f"{prefix}.policer", lambda v=vswitch: {
+            "drops": v.policer.drops,
+        })
+        self.registry.source(f"{prefix}.conntrack", lambda v=vswitch: {
+            "dupacks": sum(e.conntrack.dupacks
+                           for e in v.table.entries.values()),
+            "timeouts_inferred": sum(e.conntrack.timeouts_inferred
+                                     for e in v.table.entries.values()),
+        })
+
+    def register_switch(self, switch) -> None:
+        """Instrument one switch: aggregate source + per-port occupancy
+        histograms + the sampled ``buffer.occupancy`` trace hook."""
+        if switch in self.switches:
+            return
+        self.switches.append(switch)
+        prefix = f"switch.{switch.name}"
+        self.registry.source(prefix, lambda s=switch: {
+            "rx_packets": s.rx_packets,
+            "no_route_drops": s.no_route_drops,
+            "tx_packets": s.total_tx_packets(),
+            "drops": s.total_drops(),
+            "marked_packets": s.marker.marked_packets,
+            "wred_drops": s.marker.dropped_packets,
+            "buffer_peak_used": s.shared.peak_used,
+        })
+        for port_id, port in switch.ports.items():
+            name = f"{prefix}.p{port_id}"
+            hist = self.registry.histogram(f"{name}.queue_bytes",
+                                           QUEUE_BYTES_BOUNDS)
+            self.registry.source(name, lambda p=port: {
+                "tx_packets": p.stats.tx_packets,
+                "tx_bytes": p.stats.tx_bytes,
+                "dropped_packets": p.stats.dropped_packets,
+                "dropped_bytes": p.stats.dropped_bytes,
+                "marked_packets": p.stats.marked_packets,
+            })
+            port.attach_obs(PortObs(self.bus, hist, name))
+
+    def attach_topology(self, topology) -> None:
+        """Instrument every switch of a built topology."""
+        for switch in topology.switches.values():
+            self.register_switch(switch)
+
+    def register_runtime(self, runtime) -> None:
+        """Expose an experiment runtime's pool/cache stats."""
+        self.registry.source("runtime", runtime.telemetry)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The deterministic ``RunResult.telemetry`` payload."""
+        return {
+            "metrics": self.registry.snapshot(),
+            "trace": self.bus.summary(),
+        }

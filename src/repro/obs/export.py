@@ -1,0 +1,58 @@
+"""Trace exporters: JSONL (lossless) and CSV (spreadsheet-friendly).
+
+Records are the flat dicts produced by
+:meth:`repro.obs.trace.TraceBus.records` and
+:meth:`repro.obs.recorder.FlightRecorder.records`; both exporters
+accept any iterable of such dicts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List
+
+#: Leading columns, in display order; remaining keys follow sorted.
+LEAD_COLUMNS = ("t", "type", "sev", "component", "flow")
+
+
+def write_jsonl(records: Iterable[dict], path) -> str:
+    """One JSON object per line; keys sorted so files diff cleanly."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True, default=str))
+            fh.write("\n")
+    return str(path)
+
+
+def read_jsonl(path) -> List[dict]:
+    """Load a JSONL trace (or flight dump) back into records."""
+    records: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def write_csv(records: Iterable[dict], path) -> str:
+    """CSV with a union-of-keys header (lead columns first)."""
+    records = list(records)
+    extra = sorted({key for record in records for key in record}
+                   - set(LEAD_COLUMNS))
+    columns = [*LEAD_COLUMNS, *extra]
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore",
+                                restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return str(path)

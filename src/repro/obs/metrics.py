@@ -1,0 +1,172 @@
+"""The metric registry: named counters, gauges, fixed-bucket histograms.
+
+No dependencies and no dynamic resizing: histogram bucket bounds are
+fixed at registration (HDR-style), so two runs of the same seed produce
+identical snapshots regardless of the values' arrival order — the
+property ``RunResult.telemetry`` byte-identity rests on.
+
+Besides owned instruments, the registry accepts **sources**: callables
+evaluated at snapshot time that return a number or a flat dict of
+numbers.  Subsystems that already keep their own counters (``OpsCounter``,
+``PortStats``, the engine) register a source instead of double-counting.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def pow2_bounds(lo: int, count: int) -> Tuple[int, ...]:
+    """``count`` power-of-two bucket bounds starting at ``lo``."""
+    if lo <= 0 or count <= 0:
+        raise ValueError("lo and count must be positive")
+    return tuple(lo * (1 << i) for i in range(count))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram (bounds are upper-inclusive edges).
+
+    A value lands in the first bucket whose bound it does not exceed;
+    values above the last bound land in the overflow bucket, so
+    ``len(counts) == len(bounds) + 1`` and no sample is ever lost.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, name: str, bounds: Sequence[Number]):
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total: Number = 0
+        self.min_value: Optional[Number] = None
+        self.max_value: Optional[Number] = None
+
+    def record(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+
+class MetricRegistry:
+    """Name -> instrument map with deterministic snapshots.
+
+    Re-registering an existing name returns the existing instrument if
+    the kind matches (so independent subsystems can share a counter) and
+    raises if it does not.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._sources: Dict[str, Callable[[], object]] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {kind.__name__}")
+            return existing
+        if name in self._sources:
+            raise ValueError(f"metric {name!r} is already a source")
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Sequence[Number]) -> Histogram:
+        return self._get_or_create(name, Histogram,
+                                   lambda: Histogram(name, bounds))
+
+    def source(self, name: str, fn: Callable[[], object]) -> None:
+        """Register a snapshot-time callable returning a number or a
+        flat ``{key: number}`` dict (flattened as ``name.key``)."""
+        if name in self._metrics or name in self._sources:
+            raise ValueError(f"metric {name!r} is already registered")
+        self._sources[name] = fn
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments and sources, sorted by name, JSON-able."""
+        out: Dict[str, object] = {}
+        for name, metric in self._metrics.items():
+            out[name] = metric.snapshot()
+        for name, fn in self._sources.items():
+            value = fn()
+            if isinstance(value, dict):
+                for key in sorted(value):
+                    out[f"{name}.{key}"] = value[key]
+            else:
+                out[name] = value
+        return {name: out[name] for name in sorted(out)}
+
+    def __len__(self) -> int:
+        return len(self._metrics) + len(self._sources)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics or name in self._sources

@@ -1,0 +1,109 @@
+"""The datapath flight recorder.
+
+A bounded ring buffer of the last N datapath decisions one vSwitch
+made — window rewrites, drops, timeouts, resurrections, guard
+transitions.  It is armed whenever tracing *or* the runtime sanitizer
+is on (both are debugging modes) and costs one ``is None`` test per
+decision otherwise.
+
+On an :class:`~repro.analysis.sanitize.InvariantViolation` the
+sanitizer dumps the ring to a JSONL file and attaches the path to the
+exception, turning "seed 1729 diverged" into a replayable decision log
+readable with ``python -m repro.obs timeline <dump>``.
+
+Dump file names carry the vSwitch name, the process id and a process-
+local serial number — never a wall-clock stamp (repro-lint RL003: the
+only clock in ``src/`` is ``sim.now``, and that goes *inside* the
+records).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Tuple
+
+from .trace import format_flow
+
+#: Default ring capacity: enough to hold several RTTs of per-ACK
+#: decisions for one flow without holding a whole run in memory.
+DEFAULT_CAPACITY = 256
+
+#: Directory for dumps; override with ``REPRO_OBS_DIR``.
+DEFAULT_DUMP_DIR = ".repro-obs"
+
+_dump_serial = 0
+
+
+def _next_serial() -> int:
+    global _dump_serial
+    _dump_serial += 1
+    return _dump_serial
+
+
+class FlightRecorder:
+    """Ring buffer of (sim time, kind, flow, fields) decision records."""
+
+    def __init__(self, sim, name: str = "vswitch",
+                 capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.noted = 0  # decisions ever offered (ring keeps the tail)
+        self._ring: Deque[Tuple[float, str, object, dict]] = deque(
+            maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def note(self, kind: str, flow=None, **fields) -> None:
+        """Record one datapath decision (cheap: one deque append)."""
+        self.noted += 1
+        self._ring.append((self.sim.now, kind, flow, fields))
+
+    def records(self) -> List[dict]:
+        """Ring contents as flat dicts, oldest first (trace-record shape,
+        so the ``python -m repro.obs`` subcommands read dumps too)."""
+        out = []
+        for t, kind, flow, fields in self._ring:
+            record = {"t": t, "type": kind, "sev": "info",
+                      "component": self.name, "flow": format_flow(flow)}
+            record.update(fields)
+            out.append(record)
+        return out
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    def dump(self, dir_path=None, tag: str = "") -> str:
+        """Write the ring to a JSONL file; returns the path.
+
+        ``dir_path`` defaults to ``$REPRO_OBS_DIR`` or ``.repro-obs``.
+        """
+        if dir_path is None:
+            dir_path = os.environ.get("REPRO_OBS_DIR") or DEFAULT_DUMP_DIR
+        directory = Path(dir_path)
+        directory.mkdir(parents=True, exist_ok=True)
+        parts = ["flight", _safe(self.name)]
+        if tag:
+            parts.append(_safe(tag))
+        parts.append(f"{os.getpid()}-{_next_serial()}")
+        path = directory / ("-".join(parts) + ".jsonl")
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self.records():
+                fh.write(json.dumps(record, sort_keys=True, default=str))
+                fh.write("\n")
+        return str(path)
+
+
+def _safe(name: str) -> str:
+    """File-name-safe rendering of a component name or tag."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "-", str(name)).strip("-")
+    return cleaned or "x"

@@ -1,0 +1,235 @@
+"""The structured trace bus.
+
+Every telemetry event is **typed**: its ``type`` must appear in
+:data:`EVENT_SCHEMAS` and carry at least the schema's required fields,
+so a typo'd emission fails loudly at the call site instead of producing
+an unfilterable mystery record.  Events are timestamped from the
+simulator clock only — a trace is a property of the *run*, not of the
+machine that happened to execute it, which is also what keeps serial,
+process-pool and cache-replay paths byte-identical.
+
+Sampling is deterministic: per-type keep-1-in-N counters, never an RNG
+draw (an unseeded draw would both break determinism and trip
+repro-lint's RL002).  The first event of a sampled type is always kept
+so short runs are never silently empty.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+# Severity levels, numeric so filtering is one comparison.
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+SEVERITY_NAMES = {DEBUG: "debug", INFO: "info",
+                  WARNING: "warning", ERROR: "error"}
+SEVERITY_BY_NAME = {name: level for level, name in SEVERITY_NAMES.items()}
+
+#: The event vocabulary: type -> required field names.  Emissions may
+#: carry extra fields; missing a required one raises at emit time.
+EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    # Flow lifecycle and state transitions (vSwitch flow table, guest CC).
+    "flow.state": ("state",),
+    # Sender-module window enforcement: one event per non-FACK ingress
+    # ACK, in log-only mode too (rewritten=False) — the Fig. 9 overlay.
+    "rwnd.rewrite": ("wnd_bytes", "rewritten"),
+    # Datapath ECN actions.
+    "ecn.mark": ("direction",),
+    # Window policing (config policer; guard drops ride guard.* events).
+    "policer.drop": ("reason",),
+    # Guard ladder transitions and enforcement actions.
+    "guard.escalate": (),
+    "guard.deescalate": (),
+    "guard.police_drop": (),
+    "guard.quarantine_drop": (),
+    "guard.feedback_fallback": (),
+    "guard.shed": (),
+    "guard.unshed": (),
+    # Catch-all for guard kinds with no dedicated type (forward compat).
+    "guard.event": ("kind",),
+    # Injected faults (repro.faults) by cause.
+    "fault.inject": ("cause",),
+    # Switch-port shared-buffer occupancy at enqueue (sampled).
+    "buffer.occupancy": ("queue_bytes",),
+    # Sanitizer violations and flight-recorder dumps.
+    "sanitizer.violation": ("invariant",),
+    "flight.dump": ("path",),
+}
+
+#: Record keys the bus itself owns; event fields may not shadow them.
+RESERVED_FIELDS = ("t", "type", "sev", "component", "flow")
+
+#: Default keep-1-in-N sampling for the high-frequency types.  Anything
+#: not listed is unsampled (every emission recorded) — in particular
+#: ``rwnd.rewrite``, whose full series is the Fig. 9 overlay.
+DEFAULT_SAMPLING: Dict[str, int] = {
+    "ecn.mark": 16,
+    "buffer.occupancy": 16,
+}
+
+
+def format_flow(flow) -> Optional[str]:
+    """Render a flow key for records: ``src:sport>dst:dport``."""
+    if flow is None:
+        return None
+    if isinstance(flow, tuple) and len(flow) == 4:
+        return f"{flow[0]}:{flow[1]}>{flow[2]}:{flow[3]}"
+    return str(flow)
+
+
+class TraceEvent:
+    """One emitted event; a thin record, not behaviour."""
+
+    __slots__ = ("t", "type", "severity", "component", "flow", "fields")
+
+    def __init__(self, t: float, type_: str, severity: int,
+                 component: Optional[str], flow, fields: dict):
+        self.t = t
+        self.type = type_
+        self.severity = severity
+        self.component = component
+        self.flow = flow
+        self.fields = fields
+
+    def to_record(self) -> dict:
+        """Flat JSON-able dict (the exporters' and CLI's wire format)."""
+        record = {
+            "t": self.t,
+            "type": self.type,
+            "sev": SEVERITY_NAMES.get(self.severity, str(self.severity)),
+            "component": self.component,
+            "flow": format_flow(self.flow),
+        }
+        record.update(self.fields)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceEvent t={self.t:.6f} {self.type} "
+                f"flow={format_flow(self.flow)}>")
+
+
+@dataclass
+class TraceConfig:
+    """Bus tunables.
+
+    ``sample`` maps event type -> N (record every Nth emission; the
+    first is always recorded).  ``max_events`` bounds memory on runaway
+    traces; excess emissions are counted, not stored.
+    """
+
+    level: int = INFO
+    sample: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_SAMPLING))
+    max_events: int = 1_000_000
+    validate: bool = True
+
+
+class TraceBus:
+    """Collects :class:`TraceEvent` instances for one run.
+
+    A bus may be created unbound (no simulator yet) so experiment
+    callers can wire probes before the runner builds the
+    :class:`~repro.sim.engine.Simulator`; :meth:`bind` attaches the
+    clock.  Emitting on an unbound bus is an error.
+    """
+
+    def __init__(self, sim=None, config: Optional[TraceConfig] = None):
+        self.sim = sim
+        self.config = config if config is not None else TraceConfig()
+        self.events: List[TraceEvent] = []
+        self.emitted = 0    # offered to the bus
+        self.recorded = 0   # stored
+        self.filtered = 0   # below the severity level
+        self.sampled_out = 0
+        self.dropped = 0    # over max_events
+        self._tallies: _TallyCounter = _TallyCounter()
+        self._sample_counters: Dict[str, int] = {}
+
+    def bind(self, sim) -> None:
+        """Attach the simulator whose clock timestamps every event."""
+        self.sim = sim
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def emit(self, type_: str, *, flow=None, component: Optional[str] = None,
+             severity: int = INFO, **fields) -> bool:
+        """Offer one event; returns True if it was recorded.
+
+        Raises ``KeyError`` for an unknown type and ``ValueError`` for a
+        missing required field or a reserved field name (with
+        ``config.validate``; validation is on by default — emission only
+        happens when tracing is on, never on the tracing-off hot path).
+        """
+        if self.sim is None:
+            raise RuntimeError("TraceBus is not bound to a simulator")
+        self.emitted += 1
+        config = self.config
+        if config.validate:
+            required = EVENT_SCHEMAS.get(type_)
+            if required is None:
+                raise KeyError(
+                    f"unknown trace event type {type_!r}; add it to "
+                    f"repro.obs.trace.EVENT_SCHEMAS")
+            for name in required:
+                if name not in fields:
+                    raise ValueError(
+                        f"trace event {type_!r} requires field {name!r}")
+            for name in RESERVED_FIELDS:
+                if name in fields:
+                    raise ValueError(
+                        f"trace event field {name!r} shadows a reserved "
+                        f"record key")
+        if severity < config.level:
+            self.filtered += 1
+            return False
+        n = config.sample.get(type_, 0)
+        if n > 1:
+            count = self._sample_counters.get(type_, 0)
+            self._sample_counters[type_] = count + 1
+            if count % n != 0:
+                self.sampled_out += 1
+                return False
+        if len(self.events) >= config.max_events:
+            self.dropped += 1
+            return False
+        self.events.append(TraceEvent(self.sim.now, type_, severity,
+                                      component, flow, fields))
+        self.recorded += 1
+        self._tallies[type_] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def records(self) -> List[dict]:
+        """The whole trace as flat JSON-able dicts, in emission order."""
+        return [event.to_record() for event in self.events]
+
+    def by_type(self) -> Dict[str, int]:
+        """Recorded-event counts per type (sorted for determinism)."""
+        return {k: self._tallies[k] for k in sorted(self._tallies)}
+
+    def for_flow(self, flow) -> List[TraceEvent]:
+        """Events scoped to one flow (key tuple or formatted string)."""
+        wanted = format_flow(flow)
+        return [e for e in self.events if format_flow(e.flow) == wanted]
+
+    def summary(self) -> dict:
+        """Deterministic counts for ``RunResult.telemetry``."""
+        return {
+            "emitted": self.emitted,
+            "recorded": self.recorded,
+            "filtered": self.filtered,
+            "sampled_out": self.sampled_out,
+            "dropped": self.dropped,
+            "by_type": self.by_type(),
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -120,6 +120,19 @@ class Runtime:
         """Convenience: execute a single spec (cache-aware)."""
         return self.map([spec])[0]
 
+    def telemetry(self) -> dict:
+        """Pool/cache stats in metric-source shape (see repro.obs)."""
+        stats = self.stats
+        seen = stats.executed + stats.cache_hits
+        return {
+            "jobs": self.jobs,
+            "executed": stats.executed,
+            "cache_hits": stats.cache_hits,
+            "cache_stores": stats.cache_stores,
+            "batches": len(stats.batches),
+            "hit_ratio": (stats.cache_hits / seen) if seen else 0.0,
+        }
+
 
 def seed_sweep(fn: str, seeds: Sequence[int], base_kwargs: dict,
                seed_param: str = "seed") -> List[RunSpec]:

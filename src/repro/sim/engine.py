@@ -128,6 +128,11 @@ class Simulator:
             strict = is_enabled()
         self._strict = strict
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the heap sequence counter)."""
+        return self._seq
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -1,0 +1,143 @@
+"""End-to-end tests for the telemetry layer on real datapaths.
+
+Covers the acceptance path for the observability issue: a traced Fig. 9
+run whose ``rwnd.rewrite`` series reproduces the vSwitch-vs-host window
+overlay (and renders through ``python -m repro.obs timeline``), the
+flight-recorder dump attached to an injected invariant violation, and
+byte-identical telemetry across identical runs.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.sanitize import InvariantViolation
+from repro.core import AcdcConfig, AcdcVswitch
+from repro.experiments import fig09_window_tracking as fig09
+from repro.net.packet import mss_for_mtu
+from repro.obs import read_jsonl
+from repro.obs.__main__ import main as obs_main
+from repro.workloads.apps import Sink
+
+
+# ---------------------------------------------------------------------------
+# Traced Fig. 9: the rwnd.rewrite series IS the window overlay
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def traced_fig09(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "fig09.jsonl"
+    out = fig09.run(duration=0.05, trace_path=str(path))
+    return out, str(path)
+
+
+def test_traced_run_reports_trace_metadata(traced_fig09):
+    out, _ = traced_fig09
+    assert out["trace_events"] > 0
+    assert out["trace_flow"]
+    summary = out["telemetry"]["trace"]
+    assert summary["recorded"] > 0
+    assert summary["by_type"]["rwnd.rewrite"] > 0
+    assert summary["by_type"]["flow.state"] > 0
+    assert summary["emitted"] == (summary["recorded"] + summary["filtered"]
+                                  + summary["sampled_out"]
+                                  + summary["dropped"])
+    # Engine and switch metrics rode along in the same snapshot.
+    metrics = out["telemetry"]["metrics"]
+    assert metrics["engine.events_processed"] > 0
+    assert any(k.endswith("buffer_peak_used") for k in metrics)
+
+
+def test_rwnd_rewrite_series_reproduces_the_overlay(traced_fig09):
+    out, path = traced_fig09
+    mss = mss_for_mtu(1500)
+    records = [r for r in read_jsonl(path)
+               if r["type"] == "rwnd.rewrite" and r["flow"] == out["trace_flow"]]
+    assert records, "traced flow has no rwnd.rewrite events"
+    # Log-only mode: windows computed on every ACK, never applied.
+    assert all(r["rewritten"] is False for r in records)
+    # Every WindowLogger sample of the vSwitch series appears in the
+    # trace — the trace alone reconstructs Fig. 9's vSwitch curve.
+    traced_wnds = {r["wnd_bytes"] for r in records}
+    series_wnds = {int(round(w * mss)) for _, w in out["rwnd_series_mss"]}
+    assert series_wnds <= traced_wnds
+    # The guest's half of the overlay is on the bus too.
+    guest = [r for r in read_jsonl(path)
+             if r["type"] == "flow.state" and r.get("state") == "cwnd"
+             and r["flow"] == out["trace_flow"]]
+    assert guest and all(r["component"] == "guest" for r in guest)
+
+
+def test_timeline_renders_the_traced_flow(traced_fig09, capsys):
+    out, path = traced_fig09
+    assert obs_main(["timeline", path, "--flow", out["trace_flow"],
+                     "--limit", "40"]) == 0
+    rendered = capsys.readouterr().out
+    assert "rwnd.rewrite" in rendered and "wnd_bytes=" in rendered
+    assert obs_main(["summary", path]) == 0
+
+
+def test_traced_runs_are_deterministic(tmp_path):
+    a = fig09.run(duration=0.02, trace=True)
+    b = fig09.run(duration=0.02, trace=True)
+    dump = lambda r: json.dumps(r["telemetry"], sort_keys=True, default=str)
+    assert dump(a) == dump(b)
+    assert a["trace_events"] == b["trace_events"]
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder: violation dumps carry the offending decision
+# ---------------------------------------------------------------------------
+def test_tracing_off_vswitch_has_no_obs_hot_path(two_hosts):
+    sim, topo, a, b, sw = two_hosts
+    vsw = AcdcVswitch(a)
+    assert vsw.trace is None and vsw.obs is None and vsw.flight is None
+
+
+def test_lying_rewrite_attaches_flight_dump(two_hosts, monkeypatch, tmp_path):
+    from repro.core.enforcement import WindowEnforcer
+
+    def lying_enforce(self, pkt, window_bytes, wscale):
+        pkt.rwnd_field = 1
+        return True
+
+    monkeypatch.setattr(WindowEnforcer, "enforce", lying_enforce)
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+    sim, topo, a, b, sw = two_hosts
+    cfg = AcdcConfig(sanitize=True, trace=True)
+    for host in (a, b):
+        host.attach_vswitch(AcdcVswitch(host, config=cfg))
+    Sink(b, 7000)
+    conn = a.connect(b.addr, 7000)
+    conn.send(500_000)
+    with pytest.raises(InvariantViolation) as exc:
+        sim.run(until=0.2)
+    assert exc.value.invariant == "rwnd-roundtrip"
+    # The dump path is attached, inside REPRO_OBS_DIR, and readable.
+    assert exc.value.flight_dump is not None
+    assert exc.value.flight_dump.startswith(str(tmp_path))
+    assert "flight recorder dump" in str(exc.value)
+    dump = read_jsonl(exc.value.flight_dump)
+    offending = [r for r in dump if r["type"] == "rwnd.rewrite"]
+    assert offending, "dump must contain the offending rewrite decision"
+    assert offending[-1]["rwnd_field"] == 1  # the lie itself, on record
+
+
+def test_sanitize_only_vswitch_still_dumps(two_hosts, monkeypatch, tmp_path):
+    """The flight recorder arms for sanitize-only runs too (no tracing)."""
+    from repro.core.enforcement import WindowEnforcer
+
+    monkeypatch.setattr(WindowEnforcer, "enforce",
+                        lambda self, pkt, wb, ws: (
+                            setattr(pkt, "rwnd_field", 1) or True))
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+    sim, topo, a, b, sw = two_hosts
+    cfg = AcdcConfig(sanitize=True)
+    for host in (a, b):
+        host.attach_vswitch(AcdcVswitch(host, config=cfg))
+    Sink(b, 7000)
+    conn = a.connect(b.addr, 7000)
+    conn.send(500_000)
+    with pytest.raises(InvariantViolation) as exc:
+        sim.run(until=0.2)
+    assert exc.value.flight_dump is not None
+    assert read_jsonl(exc.value.flight_dump)

@@ -1,0 +1,101 @@
+"""Unit tests for the dependency-free metric registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import MetricRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, pow2_bounds
+
+
+# ---------------------------------------------------------------------------
+# Primitives
+# ---------------------------------------------------------------------------
+def test_counter_increments_and_snapshots():
+    c = Counter("packets")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    assert c.snapshot() == {"type": "counter", "value": 42}
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_sets_latest_value():
+    g = Gauge("queue_depth")
+    g.set(10)
+    g.set(3)
+    assert g.snapshot() == {"type": "gauge", "value": 3}
+
+
+def test_histogram_bucket_edges_are_upper_inclusive():
+    h = Histogram("lat", bounds=[10, 100, 1000])
+    for v in (5, 10, 11, 100, 999, 1000, 1001):
+        h.record(v)
+    snap = h.snapshot()
+    # <=10 | <=100 | <=1000 | overflow
+    assert snap["counts"] == [2, 2, 2, 1]
+    assert snap["count"] == 7 and snap["sum"] == sum((5, 10, 11, 100,
+                                                      999, 1000, 1001))
+    assert snap["min"] == 5 and snap["max"] == 1001
+    assert snap["bounds"] == [10, 100, 1000]
+
+
+def test_histogram_requires_increasing_bounds():
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=[10, 10])
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=[])
+
+
+def test_pow2_bounds():
+    assert pow2_bounds(1500, 4) == (1500, 3000, 6000, 12000)
+    with pytest.raises(ValueError):
+        pow2_bounds(0, 4)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_registry_get_or_create_is_idempotent():
+    reg = MetricRegistry()
+    a = reg.counter("x")
+    b = reg.counter("x")
+    assert a is b and len(reg) == 1
+    with pytest.raises(ValueError):
+        reg.gauge("x")  # same name, different kind
+
+
+def test_registry_rejects_source_metric_name_clash():
+    reg = MetricRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.source("x", lambda: 1)
+    reg.source("y", lambda: 1)
+    with pytest.raises(ValueError):
+        reg.counter("y")
+
+
+def test_snapshot_flattens_sources_and_sorts_names():
+    reg = MetricRegistry()
+    reg.counter("zeta").inc(7)
+    reg.source("alpha", lambda: {"b": 2, "a": 1})
+    reg.source("scalar", lambda: 3.5)
+    snap = reg.snapshot()
+    assert list(snap) == sorted(snap)
+    assert snap["alpha.a"] == 1 and snap["alpha.b"] == 2
+    assert snap["scalar"] == 3.5
+    assert snap["zeta"] == {"type": "counter", "value": 7}
+
+
+def test_snapshot_reads_sources_live():
+    reg = MetricRegistry()
+    state = {"n": 0}
+    reg.source("live", lambda: state["n"])
+    assert reg.snapshot()["live"] == 0
+    state["n"] = 9
+    assert reg.snapshot()["live"] == 9
+
+
+def test_contains():
+    reg = MetricRegistry()
+    reg.gauge("present")
+    assert "present" in reg and "absent" not in reg

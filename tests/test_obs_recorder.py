@@ -1,0 +1,71 @@
+"""Unit tests for the datapath flight recorder (repro.obs.recorder)."""
+
+import pytest
+
+from repro.obs import FlightRecorder, read_jsonl
+
+FLOW = ("s1", 10000, "r1", 5000)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(FakeSim(), capacity=0)
+
+
+def test_note_and_records_are_trace_shaped():
+    sim = FakeSim()
+    rec = FlightRecorder(sim, name="h1")
+    sim.now = 0.5
+    rec.note("rwnd.rewrite", FLOW, wnd_bytes=3000, rewritten=True)
+    assert len(rec) == 1 and rec.noted == 1
+    (record,) = rec.records()
+    assert record == {"t": 0.5, "type": "rwnd.rewrite", "sev": "info",
+                      "component": "h1", "flow": "s1:10000>r1:5000",
+                      "wnd_bytes": 3000, "rewritten": True}
+
+
+def test_ring_keeps_only_the_tail():
+    rec = FlightRecorder(FakeSim(), capacity=4)
+    for i in range(10):
+        rec.note("flow.state", FLOW, state=str(i))
+    assert len(rec) == 4 and rec.noted == 10
+    assert [r["state"] for r in rec.records()] == ["6", "7", "8", "9"]
+
+
+def test_clear():
+    rec = FlightRecorder(FakeSim())
+    rec.note("flow.state", FLOW, state="x")
+    rec.clear()
+    assert len(rec) == 0 and rec.records() == []
+    assert rec.noted == 1  # offered count is cumulative
+
+
+def test_dump_writes_jsonl_to_dir_arg(tmp_path):
+    rec = FlightRecorder(FakeSim(), name="h/1")  # slash must be sanitised
+    rec.note("policer.drop", FLOW, reason="window_overrun")
+    path = rec.dump(dir_path=tmp_path, tag="window_overrun")
+    assert path.startswith(str(tmp_path))
+    assert "h-1" in path and path.endswith(".jsonl")
+    (record,) = read_jsonl(path)
+    assert record["type"] == "policer.drop"
+    assert record["reason"] == "window_overrun"
+
+
+def test_dump_honours_repro_obs_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "dumps"))
+    rec = FlightRecorder(FakeSim(), name="h2")
+    rec.note("flow.state", FLOW, state="restart")
+    path = rec.dump()
+    assert path.startswith(str(tmp_path / "dumps"))
+    assert len(read_jsonl(path)) == 1
+
+
+def test_dump_serials_never_collide(tmp_path):
+    rec = FlightRecorder(FakeSim(), name="h3")
+    rec.note("flow.state", FLOW, state="x")
+    assert rec.dump(dir_path=tmp_path) != rec.dump(dir_path=tmp_path)

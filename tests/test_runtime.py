@@ -164,6 +164,30 @@ def test_parallel_results_byte_identical_to_serial(tmp_path):
     assert canonical_json(cached) == canonical_json(serial)
 
 
+def test_telemetry_byte_identical_across_serial_pool_and_cache(tmp_path):
+    """Telemetry is part of the determinism contract: a traced cell's
+    metric snapshot and full trace must be byte-identical whether the
+    cell ran serially, in a worker process, or replayed from cache."""
+    specs = [RunSpec(CELL, {**CELL_KW, "telemetry": True})]
+    serial = Runtime(jobs=1).map(specs)
+    pool_rt = Runtime(jobs=2, cache=tmp_path)
+    pooled = pool_rt.map(specs)
+    assert pool_rt.stats.executed == 1
+    warm = Runtime(jobs=2, cache=tmp_path)
+    cached = warm.map(specs)
+    assert warm.stats.executed == 0 and warm.stats.cache_hits == 1
+    assert canonical_json(serial) == canonical_json(pooled)
+    assert canonical_json(serial) == canonical_json(cached)
+    telemetry = serial[0]["telemetry"]
+    assert telemetry["trace"]["recorded"] > 0
+    assert telemetry["metrics"]["engine.events_processed"] > 0
+    assert serial[0]["trace"], "traced cell must carry its records"
+    # The telemetry flag is part of the cache key: the untraced variant
+    # is a distinct cell, so no stale hit can cross the boundary.
+    assert RunSpec(CELL, {**CELL_KW, "telemetry": True}).key() != \
+        RunSpec(CELL, dict(CELL_KW)).key()
+
+
 def test_figure_level_parallel_matches_serial():
     """fig18/19 via its public multi-seed API: pool == serial, merged
     seed-ordered."""
