@@ -1,0 +1,104 @@
+"""The canary rollout state machine (DESIGN.md §12.4).
+
+One :class:`CanaryRollout` tracks a single candidate config staged on a
+seeded cohort of hosts.  The service ticks it once per epoch with that
+epoch's SLO verdict; the rollout answers with an action —
+
+* ``"hold"``     — keep canarying (not enough evidence yet);
+* ``"promote"``  — ``promote_after`` consecutive healthy, gradeable
+  epochs: roll the candidate out fleet-wide;
+* ``"rollback"`` — an SLO violated, or the canary ran ``timeout_epochs``
+  epochs without accumulating a verdict (a stuck canary is treated as a
+  failed one: the service must not sit in a half-rolled-out state
+  forever).
+
+The rollout records the *prior* policy of every cohort host at start, so
+rollback restores exactly what was there before — not a default.
+Applying the actions (policy migration, events) is the control plane's
+job; this object is pure bookkeeping and therefore trivially JSON-able.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .commands import TenantPolicy
+
+IDLE = "idle"
+CANARY = "canary"
+PROMOTED = "promoted"
+ROLLED_BACK = "rolled_back"
+
+
+@dataclass
+class CanaryRollout:
+    """Lifecycle of one candidate config on one cohort."""
+
+    candidate: TenantPolicy
+    cohort: List[str]
+    prior: Dict[str, TenantPolicy]
+    started_epoch: int
+    promote_after: int = 3
+    timeout_epochs: int = 8
+    state: str = CANARY
+    healthy_epochs: int = 0
+    graded_epochs: int = 0
+    ended_epoch: Optional[int] = None
+    reason: Optional[str] = None
+    violations: List[dict] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return self.state == CANARY
+
+    def tick(self, epoch: int, violations: List[dict],
+             gradeable: bool) -> str:
+        """Fold one epoch's verdict in; returns the action to take."""
+        if not self.active:
+            raise RuntimeError(f"tick on a {self.state} rollout")
+        if violations:
+            self._end(ROLLED_BACK, epoch, "slo_violation", violations)
+            return "rollback"
+        if gradeable:
+            self.graded_epochs += 1
+            self.healthy_epochs += 1
+            if self.healthy_epochs >= self.promote_after:
+                self._end(PROMOTED, epoch, "healthy_streak", [])
+                return "promote"
+        else:
+            # Insufficient data neither promotes nor rolls back, but a
+            # healthy streak must be *consecutive* gradeable epochs.
+            self.healthy_epochs = 0
+        if epoch - self.started_epoch + 1 >= self.timeout_epochs:
+            self._end(ROLLED_BACK, epoch, "timeout", [])
+            return "rollback"
+        return "hold"
+
+    def abort(self, epoch: int, reason: str) -> None:
+        """Operator- or kill-switch-initiated rollback."""
+        if not self.active:
+            raise RuntimeError(f"abort on a {self.state} rollout")
+        self._end(ROLLED_BACK, epoch, reason, [])
+
+    def _end(self, state: str, epoch: int, reason: str,
+             violations: List[dict]) -> None:
+        self.state = state
+        self.ended_epoch = epoch
+        self.reason = reason
+        self.violations = violations
+
+    def to_json(self) -> dict:
+        return {
+            "state": self.state,
+            "candidate": self.candidate.to_json(),
+            "cohort": list(self.cohort),
+            "started_epoch": self.started_epoch,
+            "ended_epoch": self.ended_epoch,
+            "promote_after": self.promote_after,
+            "timeout_epochs": self.timeout_epochs,
+            "healthy_epochs": self.healthy_epochs,
+            "graded_epochs": self.graded_epochs,
+            "reason": self.reason,
+            "violations": self.violations,
+        }

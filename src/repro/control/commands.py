@@ -1,0 +1,94 @@
+"""Control-plane command vocabulary and the tenant policy value type.
+
+A command is a plain-JSON dict (so schedules round-trip through the
+runtime's run specs) with at least::
+
+    {"epoch": 2, "op": "set_policy", ...}
+
+``epoch`` is the epoch boundary at or after which it applies; ``op`` is
+one of :data:`VALID_OPS`.  Validation is all-or-nothing and happens at
+drain time in :class:`repro.control.service.ControlPlane`: a command
+either applies to every host it names or is rejected with a reason —
+never partially applied.
+
+:class:`TenantPolicy` is the *declarative* form of a per-tenant
+:class:`~repro.core.policy.FlowPolicy`: a frozen, JSON-able value the
+control plane keeps as intended state, so rollback and the kill-switch
+can re-apply an exact prior policy rather than guessing from the
+datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.policy import FlowPolicy
+
+#: Operations the control plane understands (see DESIGN.md §12.2).
+VALID_OPS = ("set_policy", "set_guard", "canary_start", "canary_abort",
+             "kill_switch")
+
+
+class CommandError(ValueError):
+    """A malformed or conflicting control command.
+
+    The message is the operator-facing rejection reason; it is recorded
+    verbatim in the command log and on the ``control.command`` event.
+    """
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Declarative per-tenant policy: the control plane's unit of intent.
+
+    Mirrors :class:`~repro.core.policy.FlowPolicy` field-for-field but is
+    frozen and JSON-able; :meth:`flow_policy` materialises the datapath
+    object (and re-runs the datapath's own validation).
+    """
+
+    algorithm: str = "dctcp"
+    beta: float = 1.0
+    max_rwnd: Optional[int] = None
+
+    def flow_policy(self) -> FlowPolicy:
+        return FlowPolicy(algorithm=self.algorithm, beta=self.beta,
+                          max_rwnd=self.max_rwnd)
+
+    def to_json(self) -> dict:
+        return {"algorithm": self.algorithm, "beta": self.beta,
+                "max_rwnd": self.max_rwnd}
+
+    @staticmethod
+    def from_json(raw: object) -> "TenantPolicy":
+        """Parse and validate; raises :class:`CommandError` with a reason."""
+        if not isinstance(raw, dict):
+            raise CommandError(f"policy must be an object, got {type(raw).__name__}")
+        unknown = set(raw) - {"algorithm", "beta", "max_rwnd"}
+        if unknown:
+            raise CommandError(f"unknown policy field(s) {sorted(unknown)!r}")
+        policy = TenantPolicy(algorithm=raw.get("algorithm", "dctcp"),
+                              beta=raw.get("beta", 1.0),
+                              max_rwnd=raw.get("max_rwnd"))
+        try:
+            policy.flow_policy()  # datapath-level validation
+        except (ValueError, TypeError) as exc:
+            raise CommandError(f"invalid policy: {exc}") from exc
+        return policy
+
+
+def command_shape(raw: object) -> tuple:
+    """Check the fields every command shares; returns ``(epoch, op)``.
+
+    Shape errors raise :class:`CommandError`; op-specific argument
+    validation stays with the control plane's per-op handlers.
+    """
+    if not isinstance(raw, dict):
+        raise CommandError(f"command must be an object, got {type(raw).__name__}")
+    epoch = raw.get("epoch")
+    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+        raise CommandError(f"command epoch must be a non-negative int, got {epoch!r}")
+    op = raw.get("op")
+    if op not in VALID_OPS:
+        raise CommandError(f"unknown op {op!r} (valid: {', '.join(VALID_OPS)})")
+    return epoch, op

@@ -1,0 +1,573 @@
+"""Service mode: the AC/DC datapath as a long-lived, mutable service.
+
+A :class:`Service` runs an open-loop arriving workload (seeded Poisson
+message arrivals over persistent connections, §5.2-style) on a star of
+AC/DC hosts, carved into fixed virtual-time *epochs*.  Between epochs —
+and only between epochs — the :class:`ControlPlane` drains its command
+queue in deterministic ``(epoch, seq)`` order.  Commands mutate the
+live datapath:
+
+* ``set_policy``   — hot-swap per-tenant policy (algorithm / beta /
+  RWND clamp); existing flows are *migrated* in place, never restarted;
+* ``set_guard``    — hot-reload guard thresholds (all-or-nothing across
+  the named hosts);
+* ``canary_start`` — stage a candidate policy on a seeded host cohort,
+  graded per epoch by ``repro.control.slo`` against the rest;
+* ``canary_abort`` — operator-initiated rollback;
+* ``kill_switch``  — revert every host to last-known-good in one epoch.
+
+Because command application is pinned to epoch boundaries, the sequence
+of simulator events between any two boundaries is a pure function of
+(config, schedule, seed): replaying the same schedule — serially, via
+the process pool, or from the result cache — produces a byte-identical
+result (DESIGN.md §10 extended to mid-run mutation; §12 for the control
+plane itself).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional
+
+from ..core import AcdcConfig, AcdcVswitch, PolicyEngine
+from ..core.ops import OpsCounter
+from ..experiments.common import ACDC, k_bytes_for_rate
+from ..guard import Guard, GuardConfig
+from ..metrics.collectors import FctRecorder
+from ..net.topology import star
+from ..obs import ObsContext, TraceConfig, WARNING
+from ..obs.adapters import FaultRecorderAdapter
+from ..runtime.spec import canonical_json
+from ..sim.engine import Simulator
+from ..sim.rng import RngFactory
+from ..workloads.apps import MessageStream, Sink
+from .canary import CanaryRollout
+from .commands import CommandError, TenantPolicy, command_shape
+from .slo import CohortSample, SloThresholds, evaluate_slos, is_gradeable
+
+#: Port every service sink listens on.
+SERVICE_PORT = 5001
+
+
+@dataclass
+class ServiceConfig:
+    """One service run, fully described by plain JSON values."""
+
+    n_hosts: int = 8
+    epoch_s: float = 0.02
+    rate_bps: float = 1e9
+    mtu: int = 1500
+    seed: int = 0
+    #: Mean message arrivals per host per second (open loop, Poisson).
+    arrival_rate_hz: float = 400.0
+    #: Message size mix (bytes) and integer weights.
+    msg_sizes: List[int] = field(default_factory=lambda: [16_384, 65_536,
+                                                          262_144])
+    msg_weights: List[int] = field(default_factory=lambda: [6, 3, 1])
+    #: Persistent streams per host (to its next ``peers`` ring neighbours).
+    peers: int = 3
+    #: Attach a repro.guard.Guard to every vSwitch.
+    guard: bool = False
+    #: Arm the runtime invariant sanitizer on every vSwitch (None: the
+    #: REPRO_SANITIZE environment default).
+    sanitize: Optional[bool] = None
+    #: Default tenant policy JSON (see TenantPolicy.from_json).
+    default_policy: Optional[dict] = None
+    #: SLO threshold overrides (see SloThresholds).
+    slo: Optional[dict] = None
+    #: Chaos: wrap the first host's datapath in a fault chain of this
+    #: intensity (0 disables; see repro.experiments.chaos.fault_chain).
+    fault_intensity: float = 0.0
+    #: Adversarial tenants: the first N hosts' guests ignore RWND.
+    adversarial_hosts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 2:
+            raise ValueError("a service needs at least 2 hosts")
+        if self.epoch_s <= 0 or self.arrival_rate_hz <= 0:
+            raise ValueError("epoch_s and arrival_rate_hz must be positive")
+        if not (1 <= self.peers < self.n_hosts):
+            raise ValueError("peers must be in [1, n_hosts)")
+        if len(self.msg_sizes) != len(self.msg_weights) or not self.msg_sizes:
+            raise ValueError("msg_sizes and msg_weights must match, non-empty")
+        if self.adversarial_hosts > self.n_hosts:
+            raise ValueError("more adversarial hosts than hosts")
+
+    def to_json(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class _OpenLoopWorkload:
+    """Seeded Poisson message arrivals over persistent MessageStreams.
+
+    Each host holds one stream to each of its ``peers`` ring neighbours;
+    arrivals pick a stream and a size from the host's own named RNG
+    stream, so adding hosts or reordering construction never perturbs
+    another host's arrival process.  FCT records are labelled
+    ``"src>dst"`` so cohort attribution is by *sending* host.
+    """
+
+    def __init__(self, service: "Service"):
+        sim, config = service.sim, service.config
+        hosts = service.hosts
+        self.sim = sim
+        self.config = config
+        self.recorder = FctRecorder()
+        self.arrivals: Dict[str, int] = {h.addr: 0 for h in hosts}
+        conn_opts = ACDC.conn_opts()
+        sinks = {h.addr: Sink(h, SERVICE_PORT, **conn_opts) for h in hosts}
+        self.streams: Dict[str, List[MessageStream]] = {}
+        n = len(hosts)
+        for i, src in enumerate(hosts):
+            streams = []
+            for j in range(1, config.peers + 1):
+                dst = hosts[(i + j) % n]
+                streams.append(MessageStream(
+                    sim, src, dst.addr, SERVICE_PORT, sinks[dst.addr],
+                    self.recorder, label=f"{src.addr}>{dst.addr}",
+                    conn_opts=dict(conn_opts)))
+            self.streams[src.addr] = streams
+            rng = service.rngs.stream(f"service.arrivals.{src.addr}")
+            sim.schedule(rng.expovariate(config.arrival_rate_hz),
+                         lambda s=src, r=rng: self._arrive(s.addr, r))
+
+    def _arrive(self, addr: str, rng) -> None:
+        stream = self.streams[addr][rng.randrange(len(self.streams[addr]))]
+        size = rng.choices(self.config.msg_sizes,
+                           weights=self.config.msg_weights)[0]
+        stream.send_message(size)
+        self.arrivals[addr] += 1
+        self.sim.schedule(rng.expovariate(self.config.arrival_rate_hz),
+                          lambda: self._arrive(addr, rng))
+
+
+class ControlPlane:
+    """Declarative intended state + the epoch-boundary command queue.
+
+    The plane owns three pieces of state the datapath cannot reconstruct:
+    the *intended* per-host :class:`TenantPolicy`, the *last-known-good*
+    snapshot (what the kill-switch restores), and the active
+    :class:`CanaryRollout`.  Every command application is all-or-nothing:
+    validation for every named host completes before the first host is
+    touched, and a rejection records the reason and applies nothing.
+    """
+
+    def __init__(self, service: "Service"):
+        self.service = service
+        self.default_policy = service.default_policy
+        self.intended: Dict[str, TenantPolicy] = {
+            addr: service.default_policy for addr in service.vswitches}
+        self.rollout: Optional[CanaryRollout] = None
+        self.rollouts: List[CanaryRollout] = []
+        self.log: List[dict] = []
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self.last_known_good = self._snapshot()
+
+    # -- state snapshots ----------------------------------------------------
+    def _snapshot(self) -> dict:
+        guards = {}
+        for addr, guard in self.service.guards.items():
+            cfg = dataclasses.asdict(guard.config)
+            for name in Guard.IMMUTABLE_FIELDS:
+                cfg.pop(name, None)
+            guards[addr] = cfg
+        return {"policies": {a: p.to_json()
+                             for a, p in self.intended.items()},
+                "guards": guards}
+
+    def _mark_known_good(self) -> None:
+        """Fold the current intended state into last-known-good — only
+        outside a canary (a candidate is, by definition, not known good
+        until promoted)."""
+        if self.rollout is None or not self.rollout.active:
+            self.last_known_good = self._snapshot()
+
+    # -- queue --------------------------------------------------------------
+    def submit(self, raw: object) -> None:
+        """Enqueue one command dict for its epoch boundary.
+
+        Commands whose *shape* is unparseable (not a dict, bad epoch,
+        unknown op) cannot be placed in the queue at all; they are
+        rejected immediately into the log."""
+        try:
+            epoch, op = command_shape(raw)
+        except CommandError as exc:
+            self._record(None, raw, "rejected", reason=str(exc))
+            return
+        self._queue.append((epoch, self._seq, raw))
+        self._seq += 1
+
+    def drain(self, epoch: int) -> List[dict]:
+        """Apply every command due at or before ``epoch``, in
+        deterministic (epoch, seq) order."""
+        due = sorted([q for q in self._queue if q[0] <= epoch])
+        self._queue = [q for q in self._queue if q[0] > epoch]
+        outcomes = []
+        for _ep, _seq, raw in due:
+            outcomes.append(self._apply(epoch, raw))
+        return outcomes
+
+    def _apply(self, epoch: int, raw: dict) -> dict:
+        op = raw["op"]
+        try:
+            handler = getattr(self, f"_op_{op}")
+            detail = handler(epoch, raw)
+            return self._record(epoch, raw, "applied", **(detail or {}))
+        except CommandError as exc:
+            return self._record(epoch, raw, "rejected", reason=str(exc))
+
+    def _record(self, epoch, raw, status: str, **detail) -> dict:
+        entry = {"epoch": epoch, "op": raw.get("op") if isinstance(raw, dict)
+                 else None, "status": status, "command": raw, **detail}
+        self.log.append(entry)
+        extra = {"reason": detail["reason"]} if "reason" in detail else {}
+        if status == "rejected":
+            extra["severity"] = WARNING
+        self.service.obs.bus.emit("control.command", component="control",
+                                  op=str(entry["op"]), status=status, **extra)
+        return entry
+
+    # -- shared validation helpers ------------------------------------------
+    def _check_keys(self, raw: dict, allowed: set) -> None:
+        unknown = set(raw) - allowed - {"epoch", "op"}
+        if unknown:
+            raise CommandError(f"unknown field(s) {sorted(unknown)!r} "
+                               f"for op {raw['op']!r}")
+
+    def _resolve_hosts(self, raw: dict) -> List[str]:
+        known = sorted(self.intended)
+        hosts = raw.get("hosts", "all")
+        if hosts == "all":
+            return known
+        if not isinstance(hosts, list) or not hosts:
+            raise CommandError("hosts must be \"all\" or a non-empty list")
+        bad = [h for h in hosts if h not in self.intended]
+        if bad:
+            raise CommandError(f"unknown host(s) {bad!r}")
+        return sorted(set(hosts))
+
+    def _set_host_policy(self, addr: str, policy: TenantPolicy) -> int:
+        self.intended[addr] = policy
+        return self.service.vswitches[addr].apply_policy(policy.flow_policy())
+
+    # -- op handlers ----------------------------------------------------
+    def _op_set_policy(self, epoch: int, raw: dict) -> dict:
+        self._check_keys(raw, {"hosts", "policy"})
+        if "policy" not in raw:
+            raise CommandError("set_policy requires a policy object")
+        policy = TenantPolicy.from_json(raw["policy"])
+        addrs = self._resolve_hosts(raw)
+        if self.rollout is not None and self.rollout.active:
+            clash = sorted(set(addrs) & set(self.rollout.cohort))
+            if clash:
+                raise CommandError(
+                    f"host(s) {clash!r} are in an active canary cohort; "
+                    f"abort or wait for the rollout first")
+        migrated = sum(self._set_host_policy(a, policy) for a in addrs)
+        self._mark_known_good()
+        return {"hosts": addrs, "migrated": migrated}
+
+    def _op_set_guard(self, epoch: int, raw: dict) -> dict:
+        self._check_keys(raw, {"hosts", "params"})
+        if not self.service.guards:
+            raise CommandError("guard is not enabled on this service")
+        params = raw.get("params")
+        if not isinstance(params, dict) or not params:
+            raise CommandError("set_guard requires a non-empty params object")
+        addrs = self._resolve_hosts(raw)
+        # Pass 1: validate against every target guard; pass 2: apply.
+        for addr in addrs:
+            try:
+                self.service.guards[addr].check(**params)
+            except (ValueError, TypeError) as exc:
+                raise CommandError(f"invalid guard params for {addr}: "
+                                   f"{exc}") from exc
+        for addr in addrs:
+            self.service.guards[addr].reconfigure(**params)
+        self._mark_known_good()
+        return {"hosts": addrs, "params": params}
+
+    def _op_canary_start(self, epoch: int, raw: dict) -> dict:
+        self._check_keys(raw, {"policy", "fraction", "hosts",
+                               "promote_after", "timeout_epochs"})
+        if self.rollout is not None and self.rollout.active:
+            raise CommandError("a canary rollout is already active")
+        if "policy" not in raw:
+            raise CommandError("canary_start requires a candidate policy")
+        candidate = TenantPolicy.from_json(raw["policy"])
+        promote_after = raw.get("promote_after", 3)
+        timeout_epochs = raw.get("timeout_epochs", 8)
+        for name, value in (("promote_after", promote_after),
+                            ("timeout_epochs", timeout_epochs)):
+            if not isinstance(value, int) or value < 1:
+                raise CommandError(f"{name} must be a positive int")
+        if "hosts" in raw:
+            cohort = self._resolve_hosts(raw)
+            if len(cohort) >= len(self.intended):
+                raise CommandError("canary cohort must leave a baseline")
+        else:
+            fraction = raw.get("fraction", 0.25)
+            if not isinstance(fraction, (int, float)) or not 0 < fraction < 1:
+                raise CommandError("fraction must be in (0, 1)")
+            eligible = sorted(self.intended)
+            k = max(1, min(len(eligible) - 1,
+                           round(fraction * len(eligible))))
+            rng = self.service.rngs.stream(f"control.cohort.{epoch}")
+            cohort = sorted(rng.sample(eligible, k))
+        prior = {a: self.intended[a] for a in cohort}
+        for addr in cohort:
+            self._set_host_policy(addr, candidate)
+        self.rollout = CanaryRollout(candidate=candidate, cohort=cohort,
+                                     prior=prior, started_epoch=epoch,
+                                     promote_after=promote_after,
+                                     timeout_epochs=timeout_epochs)
+        self.rollouts.append(self.rollout)
+        self.service.obs.bus.emit("control.canary", component="control",
+                                  state="start", cohort=cohort,
+                                  candidate=candidate.to_json())
+        return {"cohort": cohort}
+
+    def _op_canary_abort(self, epoch: int, raw: dict) -> dict:
+        self._check_keys(raw, set())
+        if self.rollout is None or not self.rollout.active:
+            raise CommandError("no active canary rollout to abort")
+        self.rollout.abort(epoch, "abort")
+        self.apply_rollback(epoch)
+        return {"cohort": self.rollout.cohort}
+
+    def _op_kill_switch(self, epoch: int, raw: dict) -> dict:
+        self._check_keys(raw, set())
+        if self.rollout is not None and self.rollout.active:
+            self.rollout.abort(epoch, "kill_switch")
+        good = self.last_known_good
+        migrated = 0
+        for addr, pol in good["policies"].items():
+            migrated += self._set_host_policy(addr,
+                                              TenantPolicy.from_json(pol))
+        for addr, cfg in good["guards"].items():
+            self.service.guards[addr].reconfigure(**cfg)
+        self.service.obs.bus.emit(
+            "control.rollback", component="control", severity=WARNING,
+            reason="kill_switch", hosts=sorted(good["policies"]))
+        return {"hosts": sorted(good["policies"]), "migrated": migrated}
+
+    # -- canary lifecycle (driven by the service's epoch close) --------------
+    def apply_rollback(self, epoch: int) -> None:
+        """Restore the exact prior policy of every cohort host."""
+        rollout = self.rollout
+        assert rollout is not None and not rollout.active
+        for addr, pol in rollout.prior.items():
+            self._set_host_policy(addr, pol)
+        self.service.obs.bus.emit(
+            "control.rollback", component="control", severity=WARNING,
+            reason=rollout.reason, cohort=rollout.cohort,
+            violations=rollout.violations)
+
+    def apply_promote(self, epoch: int) -> None:
+        """Roll the candidate out fleet-wide and bless it."""
+        rollout = self.rollout
+        assert rollout is not None and rollout.state == "promoted"
+        for addr in sorted(self.intended):
+            if self.intended[addr] != rollout.candidate:
+                self._set_host_policy(addr, rollout.candidate)
+        self._mark_known_good()
+        self.service.obs.bus.emit("control.canary", component="control",
+                                  state="promote", cohort=rollout.cohort)
+
+
+class Service:
+    """One long-lived service run: workload + datapath + control plane."""
+
+    def __init__(self, config: ServiceConfig,
+                 schedule: Optional[List[dict]] = None):
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngFactory(config.seed)
+        self.obs = ObsContext(self.sim, TraceConfig(sample={
+            "ecn.mark": 64, "buffer.occupancy": 256, "rwnd.rewrite": 64}))
+        self.topo, self.hosts, self.switch = star(
+            self.sim, config.n_hosts, rate_bps=config.rate_bps,
+            mtu=config.mtu, seed=config.seed, ecn_enabled=True,
+            ecn_threshold_bytes=k_bytes_for_rate(config.rate_bps))
+        self.obs.attach_topology(self.topo)
+        self.fault_recorder = FaultRecorderAdapter()
+        self.default_policy = TenantPolicy.from_json(
+            config.default_policy or {})
+        self.guards: Dict[str, Guard] = {}
+        self.vswitches: Dict[str, AcdcVswitch] = {}
+        for host in self.hosts:
+            guard = None
+            if config.guard:
+                guard = Guard(GuardConfig(seed=config.seed))
+                self.guards[host.addr] = guard
+            # One PolicyEngine per host: the control plane swaps each
+            # host's *default* policy independently.
+            vsw = AcdcVswitch(
+                host, config=AcdcConfig(sanitize=config.sanitize),
+                policy=PolicyEngine(self.default_policy.flow_policy()),
+                ops=OpsCounter(), guard=guard, obs=self.obs)
+            host.attach_vswitch(vsw)
+            self.vswitches[host.addr] = vsw
+        for i in range(config.adversarial_hosts):
+            self.hosts[i].set_tenant_profile(ignore_rwnd=True)
+        if config.fault_intensity > 0:
+            from ..experiments.chaos import fault_chain
+            from ..faults.injectors import install_faults
+            install_faults(self.hosts[0],
+                           fault_chain(config.fault_intensity, config.seed),
+                           recorder=self.fault_recorder)
+        self.workload = _OpenLoopWorkload(self)
+        self.control = ControlPlane(self)
+        for raw in schedule or []:
+            self.control.submit(raw)
+        self.slo = SloThresholds(**(config.slo or {}))
+        self._prev_counters = self._counters_now()
+        self._prev_arrivals = dict(self.workload.arrivals)
+        self._prev_t = 0.0
+
+    # ------------------------------------------------------------------
+    def _counters_now(self) -> Dict[str, dict]:
+        out = {}
+        for addr, vsw in self.vswitches.items():
+            guard = self.guards.get(addr)
+            esc = drops = 0
+            if guard is not None:
+                esc = sum(1 for e in guard.events.events
+                          if e.kind == "guard_escalate")
+                drops = guard.police_drops + guard.quarantine_drops
+            out[addr] = {
+                "packets_egress": vsw.ops.packets_egress,
+                "ecn_marks": vsw.ops.snapshot().get("ecn_mark", 0),
+                "escalations": esc,
+                "drops": drops + vsw.policer.drops,
+            }
+        return out
+
+    def _cohort_sample(self, addrs: List[str], now: Dict[str, dict],
+                       fcts_by_host: Dict[str, List[float]],
+                       arrivals: Dict[str, int]) -> CohortSample:
+        sample = CohortSample(hosts=len(addrs))
+        for addr in addrs:
+            delta = {k: now[addr][k] - self._prev_counters[addr][k]
+                     for k in now[addr]}
+            sample.packets_egress += delta["packets_egress"]
+            sample.ecn_marks += delta["ecn_marks"]
+            sample.escalations += delta["escalations"]
+            sample.drops += delta["drops"]
+            sample.arrivals += arrivals[addr] - self._prev_arrivals[addr]
+            sample.fcts.extend(fcts_by_host.get(addr, []))
+        sample.fcts.sort()
+        return sample
+
+    def _close_epoch(self, epoch: int, t_end: float) -> dict:
+        now = self._counters_now()
+        arrivals = dict(self.workload.arrivals)
+        fcts_by_host: Dict[str, List[float]] = {}
+        for record in self.workload.recorder.records:
+            if record.end is None or not self._prev_t < record.end <= t_end:
+                continue
+            fcts_by_host.setdefault(record.label.split(">", 1)[0],
+                                    []).append(record.fct)
+        report: dict = {"epoch": epoch, "t_end": t_end}
+        control = self.control
+        rollout = control.rollout
+        if rollout is not None and rollout.active:
+            baseline_addrs = [a for a in sorted(self.vswitches)
+                              if a not in rollout.cohort]
+            canary = self._cohort_sample(rollout.cohort, now,
+                                         fcts_by_host, arrivals)
+            baseline = self._cohort_sample(baseline_addrs, now,
+                                           fcts_by_host, arrivals)
+            violations = evaluate_slos(canary, baseline, self.slo)
+            action = rollout.tick(epoch, violations,
+                                  is_gradeable(canary, self.slo))
+            if action == "rollback":
+                control.apply_rollback(epoch)
+            elif action == "promote":
+                control.apply_promote(epoch)
+            report["cohorts"] = {"canary": canary.to_json(),
+                                 "baseline": baseline.to_json()}
+            report["violations"] = violations
+            report["canary"] = {"state": rollout.state, "action": action}
+        else:
+            everyone = self._cohort_sample(sorted(self.vswitches), now,
+                                           fcts_by_host, arrivals)
+            report["cohorts"] = {"all": everyone.to_json()}
+        report["commands"] = control.drain(epoch)
+        self._prev_counters = self._counters_now()
+        self._prev_arrivals = dict(self.workload.arrivals)
+        self._prev_t = t_end
+        return report
+
+    # ------------------------------------------------------------------
+    def run(self, epochs: int) -> dict:
+        """Run ``epochs`` epochs; returns the canonical service result."""
+        if epochs < 1:
+            raise ValueError("at least one epoch")
+        reports = []
+        for epoch in range(epochs):
+            t_end = (epoch + 1) * self.config.epoch_s
+            self.sim.run(until=t_end)
+            reports.append(self._close_epoch(epoch, t_end))
+        return self._result(reports)
+
+    def _result(self, reports: List[dict]) -> dict:
+        recorder = self.workload.recorder
+        per_host: Dict[str, dict] = {}
+        for addr in sorted(self.vswitches):
+            fcts = sorted(recorder.fcts(label_prefix=f"{addr}>"))
+            per_host[addr] = {
+                "completed": len(fcts),
+                "p99": (CohortSample(hosts=1, fcts=fcts).p99
+                        if fcts else None),
+            }
+        cohorts = {}
+        last = self.control.rollouts[-1] if self.control.rollouts else None
+        groups = ({"canary": list(last.cohort),
+                   "conforming": [a for a in sorted(self.vswitches)
+                                  if a not in last.cohort]}
+                  if last is not None
+                  else {"all": sorted(self.vswitches)})
+        for name, addrs in groups.items():
+            fcts = sorted(f for a in addrs
+                          for f in recorder.fcts(label_prefix=f"{a}>"))
+            cohorts[name] = {"hosts": addrs, "completed": len(fcts),
+                             "p99": (CohortSample(hosts=len(addrs),
+                                                  fcts=fcts).p99
+                                     if fcts else None)}
+        counters = {
+            "migrations": sum(v.ops.snapshot().get("flow_migrate", 0)
+                              for v in self.vswitches.values()),
+            "restarts": sum(v.restarts for v in self.vswitches.values()),
+            "resurrections": sum(v.resurrections
+                                 for v in self.vswitches.values()),
+            "policer_drops": sum(v.policer.drops
+                                 for v in self.vswitches.values()),
+            "arrivals": sum(self.workload.arrivals.values()),
+            "completed": len(recorder.completed()),
+        }
+        signature = hashlib.sha256(
+            canonical_json(self.obs.bus.records()).encode()).hexdigest()
+        return {
+            "config": self.config.to_json(),
+            "epochs": reports,
+            "commands": self.control.log,
+            "canary": last.to_json() if last is not None else {"state": "idle"},
+            "policies": {a: p.to_json()
+                         for a, p in self.control.intended.items()},
+            "fct": {"per_host": per_host, "cohorts": cohorts},
+            "counters": counters,
+            "faults": self.fault_recorder.snapshot(),
+            "trace": self.obs.bus.summary(),
+            "signature": signature,
+        }
+
+
+def service_cell(config: dict, schedule: Optional[list] = None,
+                 epochs: int = 6) -> dict:
+    """Process-pool cell: one service run from plain-JSON arguments
+    (referenced by run specs as ``repro.control.service:service_cell``)."""
+    return Service(ServiceConfig(**config), schedule or []).run(epochs)

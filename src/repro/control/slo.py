@@ -1,0 +1,158 @@
+"""Per-epoch SLO evaluation for canary rollouts (DESIGN.md §12.3).
+
+Each epoch, the service folds per-host counter deltas and that epoch's
+completed-message FCTs into one :class:`CohortSample` per cohort (canary
+vs baseline), and :func:`evaluate_slos` grades the canary against the
+baseline under :class:`SloThresholds`.  Every violated SLO yields a
+dict ``{"slo": name, "canary": x, "baseline": y, "limit": z}`` — the
+deltas the ``control.rollback`` event carries, so an operator reading
+the trace sees *why* the candidate was rejected, not just that it was.
+
+Cohorts differ in size (a 25% canary vs the 75% rest), so raw counters
+are normalised per host before comparison; the ECN mark rate is already
+per-egress-packet and needs no normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import List, Optional
+
+from ..metrics.stats import percentile
+
+
+@dataclass(frozen=True)
+class SloThresholds:
+    """What "healthy" means for a canary cohort, relative to baseline."""
+
+    #: Canary p99 FCT may be at most this multiple of the baseline p99.
+    p99_fct_ratio: float = 2.0
+    #: Baseline p99 is floored here before the ratio is applied, so an
+    #: unloaded service (tiny absolute FCTs) doesn't page on noise.
+    p99_fct_floor_s: float = 0.5e-3
+    #: Absolute ECN marks-per-egress-packet increase allowed.
+    mark_rate_delta: float = 0.10
+    #: Extra guard escalations per canary host per epoch allowed.
+    guard_escalation_delta: float = 0.0
+    #: Extra policer + guard drops per canary host per epoch allowed.
+    policer_drop_delta: float = 2.0
+    #: Completed canary messages needed before FCT SLOs are graded (an
+    #: idle cohort is "insufficient data", not "healthy").
+    min_samples: int = 4
+    #: Baseline completions needed before an empty canary epoch counts
+    #: as a stall rather than a service-wide lull.
+    stall_baseline_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if self.p99_fct_ratio < 1.0:
+            raise ValueError("p99_fct_ratio must be >= 1.0")
+        if self.p99_fct_floor_s < 0 or self.mark_rate_delta < 0:
+            raise ValueError("SLO slack values must be non-negative")
+        if self.min_samples < 1 or self.stall_baseline_samples < 1:
+            raise ValueError("sample minimums must be positive")
+
+    def to_json(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class CohortSample:
+    """One cohort's view of one epoch: FCTs plus counter deltas."""
+
+    hosts: int
+    fcts: List[float] = field(default_factory=list)
+    arrivals: int = 0
+    packets_egress: int = 0
+    ecn_marks: int = 0
+    escalations: int = 0
+    drops: int = 0
+
+    @property
+    def p99(self) -> Optional[float]:
+        if not self.fcts:
+            return None
+        return percentile(self.fcts, 99)
+
+    @property
+    def mark_rate(self) -> float:
+        if self.packets_egress == 0:
+            return 0.0
+        return self.ecn_marks / self.packets_egress
+
+    def per_host(self, value: int) -> float:
+        return value / max(1, self.hosts)
+
+    def to_json(self) -> dict:
+        """Epoch-report form: aggregates only, never the raw FCT list."""
+        return {
+            "hosts": self.hosts,
+            "completed": len(self.fcts),
+            "arrivals": self.arrivals,
+            "p99_fct": self.p99,
+            "packets_egress": self.packets_egress,
+            "ecn_marks": self.ecn_marks,
+            "escalations": self.escalations,
+            "drops": self.drops,
+        }
+
+
+def evaluate_slos(canary: CohortSample, baseline: CohortSample,
+                  slo: SloThresholds) -> List[dict]:
+    """Grade one epoch's canary cohort; returns the violated SLOs."""
+    violations: List[dict] = []
+
+    # A candidate so bad the cohort completes (nearly) nothing would
+    # never accumulate min_samples FCTs — the stall check catches the
+    # degenerate case the ratio check cannot see.
+    if len(canary.fcts) < slo.min_samples:
+        if (canary.arrivals > 0
+                and len(baseline.fcts) >= slo.stall_baseline_samples
+                and not canary.fcts):
+            violations.append({
+                "slo": "fct_stall",
+                "canary": len(canary.fcts),
+                "baseline": len(baseline.fcts),
+                "limit": 1,
+            })
+        return violations  # too little data to grade anything else
+
+    base_p99 = baseline.p99
+    if base_p99 is not None:
+        limit = max(base_p99, slo.p99_fct_floor_s) * slo.p99_fct_ratio
+        p99 = canary.p99
+        if p99 is not None and p99 > limit:
+            violations.append({"slo": "p99_fct", "canary": p99,
+                               "baseline": base_p99, "limit": limit})
+
+    if canary.packets_egress > 0 and baseline.packets_egress > 0:
+        limit = baseline.mark_rate + slo.mark_rate_delta
+        if canary.mark_rate > limit:
+            violations.append({"slo": "ecn_mark_rate",
+                               "canary": canary.mark_rate,
+                               "baseline": baseline.mark_rate,
+                               "limit": limit})
+
+    esc = canary.per_host(canary.escalations)
+    esc_limit = (baseline.per_host(baseline.escalations)
+                 + slo.guard_escalation_delta)
+    if esc > esc_limit:
+        violations.append({"slo": "guard_escalations", "canary": esc,
+                           "baseline": baseline.per_host(baseline.escalations),
+                           "limit": esc_limit})
+
+    drops = canary.per_host(canary.drops)
+    drop_limit = baseline.per_host(baseline.drops) + slo.policer_drop_delta
+    if drops > drop_limit:
+        violations.append({"slo": "policer_drops", "canary": drops,
+                           "baseline": baseline.per_host(baseline.drops),
+                           "limit": drop_limit})
+    return violations
+
+
+def is_gradeable(canary: CohortSample, slo: SloThresholds) -> bool:
+    """Did this epoch carry enough canary data to count as evidence?
+
+    Promotion requires ``promote_after`` *gradeable* healthy epochs;
+    epochs below the sample floor neither promote nor roll back.
+    """
+    return len(canary.fcts) >= slo.min_samples

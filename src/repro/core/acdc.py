@@ -32,7 +32,8 @@ from .ecn import mark_egress_data, scrub_ingress_ack, scrub_ingress_data
 from .enforcement import Policer, WindowEnforcer
 from .flow_table import FlowEntry, FlowTable
 from .ops import OpsCounter
-from .policy import PolicyEngine
+from .policy import FlowPolicy, PolicyEngine
+from .vswitch_cc import make_vswitch_cc
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..net.host import Host
@@ -177,6 +178,82 @@ class AcdcVswitch:
             # stale edge high-water would read as a (false) retreat.
             self.sanitizer.forget_flow(key)
         return entry
+
+    # ------------------------------------------------------------------
+    # Live policy mutation (repro.control)
+    # ------------------------------------------------------------------
+    def apply_policy(self, policy: FlowPolicy) -> int:
+        """Hot-swap the default policy and migrate every live flow to it.
+
+        The control-plane path to "retune this tenant without restarting
+        its flows": the policy engine's default is replaced (so new flows
+        pick it up at insert) and every existing entry is migrated in
+        place — conntrack, feedback counters, peer wscale and guard state
+        all survive; only the policy reference and (when needed) the
+        congestion-control object change.  Returns the number of entries
+        migrated.  Explicit rules (``add_rule``/``insert_rule``, e.g. the
+        guard's penalty clamps) still take precedence for new flows, and
+        entries pinned by such a rule are left alone.
+        """
+        self.policy.default = policy
+        migrated = 0
+        for entry in self.table.entries.values():
+            if self.policy.policy_for(entry.key) is not policy:
+                continue  # an explicit rule owns this flow
+            self._migrate_entry(entry, policy)
+            migrated += 1
+        return migrated
+
+    def _migrate_entry(self, entry: FlowEntry, policy: FlowPolicy) -> None:
+        """Move one live entry to ``policy`` without dropping its state.
+
+        Same algorithm: retune the existing CC in place (beta, clamp).
+        Different algorithm: build the new CC and carry the operating
+        point over — current window (re-clamped into the new band),
+        ssthresh, and the once-per-window gates re-anchored at the
+        current ``snd_una`` so the first post-migration mark/loss is
+        neither double-counted nor ignored.  The window never jumps *up*
+        past the new clamp, so enforcement stays safe mid-flight; the
+        sanitizer's advertised-edge high-water is untouched because a
+        shrinking window merely stops the edge advancing (never a
+        retreat).
+        """
+        old_policy, old_cc = entry.policy, entry.vswitch_cc
+        entry.policy = policy
+        if policy.enforced:
+            max_wnd = policy.max_rwnd if policy.max_rwnd is not None else (1 << 30)
+            if policy.algorithm == old_cc.name and old_policy.enforced:
+                old_cc.beta = policy.beta
+                old_cc.max_wnd = max_wnd
+                cc = old_cc
+            else:
+                cc = make_vswitch_cc(policy.algorithm, mss=self.mss,
+                                     beta=policy.beta,
+                                     min_wnd_bytes=old_cc.min_wnd,
+                                     max_wnd_bytes=max_wnd)
+                cc.wnd = min(max(old_cc.wnd, float(cc.min_wnd)),
+                             float(cc.max_wnd))
+                cc.ssthresh = min(old_cc.ssthresh, float(cc.max_wnd))
+                cc.cuts = old_cc.cuts
+                cc.loss_events = old_cc.loss_events
+                una = entry.conntrack.snd_una
+                if una is not None:
+                    cc._seed_gates(una)
+                entry.vswitch_cc = cc
+            self._apply_config_floor(entry)
+            # Track the migrated CC's clamped operating point in both
+            # directions: tightening takes effect on the next ACK rewrite,
+            # loosening (rollback) lets the window grow again immediately.
+            entry.enforced_wnd = cc.window_bytes
+        self.ops.record("flow_migrate")
+        if self.trace is not None:
+            self.trace.emit("flow.state", flow=entry.key,
+                            component="vswitch", state="migrate",
+                            algorithm=policy.algorithm,
+                            wnd_bytes=entry.enforced_wnd)
+        if self.flight is not None:
+            self.flight.note("flow.state", entry.key, state="migrate",
+                             algorithm=policy.algorithm)
 
     def restart(self) -> None:
         """Simulate a vSwitch crash/upgrade: all flow-table state is lost.

@@ -20,6 +20,7 @@ OPS = frozenset({
     "flow_lookup",        # hash-table lookup (every packet, baseline too)
     "flow_insert",        # SYN handling
     "flow_resurrect",     # mid-flow entry rebuild after state loss
+    "flow_migrate",       # live policy migration (repro.control)
     "flow_remove",        # FIN/GC
     "seq_update",         # conntrack snd_nxt/snd_una maintenance
     "ecn_mark",           # egress ECT marking

@@ -30,6 +30,7 @@ from ..runtime import Runtime
 from . import (
     ablations,
     adversarial,
+    canary,
     chaos,
     fig01_heterogeneous_unfairness,
     fig02_rate_limiting_insufficient,
@@ -47,6 +48,7 @@ from . import (
     fig21_concurrent_stride,
     fig22_shuffle,
     fig23_trace_driven,
+    gameday,
     parking_lot_results,
     table1_cc_variants,
 )
@@ -72,6 +74,8 @@ EXPERIMENTS = {
     "fig23": fig23_trace_driven.run,
     "chaos": chaos.run,
     "adversarial": adversarial.run,
+    "canary": canary.run,
+    "gameday": gameday.run,
     "ablation-policing": ablations.run_policing,
     "ablation-feedback": ablations.run_feedback_modes,
     "ablation-ecn-hiding": ablations.run_ecn_hiding,

@@ -1,0 +1,80 @@
+"""Game day: every robustness mechanism exercised in one run.
+
+One seeded service run composes the stack's failure handling end to
+end — fault injectors on a host's wire, an adversarial tenant ignoring
+RWND, the runtime invariant sanitizer armed, guards attached — while
+the control plane hot-reloads guard thresholds, stages (and rolls
+back) a bad canary, and finally pulls the kill-switch.  The assertion
+is not a performance number: it is that the composed system *completes
+cleanly* (no sanitizer violation, no wedged flows, no partial command
+application) and that the whole ordeal is deterministic (the trace
+signature is stable across serial / pool / replay).
+
+Cells fan through the experiment runtime; game day is exactly the kind
+of long cell the runtime's timeout/quarantine guard rails exist for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import sanitize
+from ..runtime import Runtime, RunSpec
+
+#: Mild but non-trivial chaos: every injector type at 0.5% marginal
+#: probability on the first host's wire.
+FAULT_INTENSITY = 0.005
+
+
+def gameday_schedule(epochs: int) -> List[dict]:
+    """Hot guard reload, a doomed canary, a malformed command (must be
+    rejected, not partially applied), and the kill-switch."""
+    return [
+        {"epoch": 0, "op": "set_guard",
+         "params": {"suspect_violation_rate": 0.2, "clean_windows": 4}},
+        {"epoch": 1, "op": "canary_start",
+         "policy": {"max_rwnd": 1460}, "fraction": 0.25,
+         "timeout_epochs": 3},
+        {"epoch": 1, "op": "set_policy",
+         "policy": {"algorithm": "warp-speed"}},      # must be rejected
+        {"epoch": max(1, epochs - 2), "op": "kill_switch"},
+    ]
+
+
+def gameday_cell(seed: int, epochs: int = 6, n_hosts: int = 6) -> dict:
+    """One full game-day service run (plain-JSON kwargs for the pool)."""
+    from ..control.service import Service, ServiceConfig
+
+    config = ServiceConfig(seed=seed, n_hosts=n_hosts, guard=True,
+                           sanitize=True,
+                           fault_intensity=FAULT_INTENSITY,
+                           adversarial_hosts=1)
+    sanitize.set_run_seed(seed)
+    try:
+        result = Service(config, gameday_schedule(epochs)).run(epochs)
+    finally:
+        sanitize.set_run_seed(None)
+    statuses = [c["status"] for c in result["commands"]]
+    return {
+        "result": result,
+        "commands_applied": statuses.count("applied"),
+        "commands_rejected": statuses.count("rejected"),
+        "signature": result["signature"],
+    }
+
+
+def run(seed: int = 0, quick: bool = False,
+        seeds: Optional[Sequence[int]] = None,
+        runtime: Optional[Runtime] = None) -> Dict[str, object]:
+    epochs = 4 if quick else 6
+    n_hosts = 4 if quick else 6
+    rt = runtime if runtime is not None else Runtime()
+    seed_list = [seed] if seeds is None else list(seeds)
+    flat = rt.map([RunSpec(f"{__name__}:gameday_cell",
+                           {"seed": sd, "epochs": epochs,
+                            "n_hosts": n_hosts})
+                   for sd in seed_list])
+    per_seed = [{"seed": sd, **cell} for sd, cell in zip(seed_list, flat)]
+    if seeds is None:
+        return per_seed[0]
+    return {"seeds": list(seed_list), "per_seed": per_seed}

@@ -25,6 +25,7 @@ flight recorder armed — noted into its decision ring too.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from ..core.enforcement import encoded_window_bytes
@@ -96,6 +97,46 @@ class Guard:
             self.watchdog = DatapathWatchdog(self.config, vswitch,
                                              self._notify)
             self.watchdog.start()
+
+    #: Fields :meth:`reconfigure` refuses to change live: the seed fixes
+    #: the identity of the per-flow jitter streams (changing it mid-run
+    #: would silently re-randomise decay timers), and the watchdog's
+    #: sampling interval is captured by its periodic timer at attach.
+    IMMUTABLE_FIELDS = ("seed", "watchdog_interval_s")
+
+    def check(self, **changes) -> None:
+        """Validate a hot-reload without applying it.
+
+        The candidate config is validated as a whole via
+        ``dataclasses.replace``, which re-runs ``GuardConfig.__post_init__``
+        against this guard's *current* values for the untouched fields —
+        so cross-field constraints are checked per guard, not in the
+        abstract.  Raises ``ValueError`` on any problem; applies nothing.
+        The control plane calls this on every target guard before
+        applying to any (multi-host all-or-nothing).
+        """
+        names = {f.name for f in dataclasses.fields(self.config)}
+        for name in changes:
+            if name not in names:
+                raise ValueError(f"unknown guard config field {name!r}")
+            if name in self.IMMUTABLE_FIELDS:
+                raise ValueError(
+                    f"guard config field {name!r} cannot be changed live")
+        dataclasses.replace(self.config, **changes)
+
+    def reconfigure(self, **changes) -> None:
+        """Hot-reload guard thresholds on the live, attached guard.
+
+        :meth:`check` validates the whole candidate first; only then are
+        the fields mutated **in place** on the shared config object, so
+        the monitor / escalation / watchdog components — which hold a
+        reference and read ``self.config.X`` at use time — all see the
+        update atomically.  An invalid or unknown field rejects the
+        entire change (never partially applied).
+        """
+        self.check(**changes)
+        for name, value in changes.items():
+            setattr(self.config, name, value)
 
     def _notify(self, kind: str, entry, **detail) -> None:
         self.recorder.record(kind)

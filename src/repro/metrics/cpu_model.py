@@ -38,6 +38,7 @@ DEFAULT_OP_COSTS_NS: Dict[str, float] = {
     "flow_lookup": 70.0,      # RCU hash lookup
     "flow_insert": 450.0,
     "flow_resurrect": 450.0,  # same alloc+insert path as a SYN insert
+    "flow_migrate": 200.0,    # in-place CC retune / rebuild, no realloc
     "flow_remove": 300.0,
     "seq_update": 20.0,
     "ecn_mark": 12.0,

@@ -144,8 +144,11 @@ class ObsContext:
             self.register_switch(switch)
 
     def register_runtime(self, runtime) -> None:
-        """Expose an experiment runtime's pool/cache stats."""
+        """Expose an experiment runtime's pool/cache stats, and give the
+        runtime a bus to surface cache corruption on (``cache.corrupt``
+        events carry the offending entry key)."""
         self.registry.source("runtime", runtime.telemetry)
+        runtime.obs = self
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

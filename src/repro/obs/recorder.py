@@ -59,10 +59,14 @@ class FlightRecorder:
             maxlen=capacity)
 
     # ------------------------------------------------------------------
-    def note(self, kind: str, flow=None, **fields) -> None:
-        """Record one datapath decision (cheap: one deque append)."""
+    def note(self, type_: str, flow=None, **fields) -> None:
+        """Record one datapath decision (cheap: one deque append).
+
+        The first argument is the record *type* (named ``type_`` so a
+        detail field called ``kind`` — e.g. the guard's transition kind
+        — can ride in ``fields`` without colliding)."""
         self.noted += 1
-        self._ring.append((self.sim.now, kind, flow, fields))
+        self._ring.append((self.sim.now, type_, flow, fields))
 
     def records(self) -> List[dict]:
         """Ring contents as flat dicts, oldest first (trace-record shape,

@@ -15,7 +15,7 @@ See DESIGN.md §10 for the architecture and the cache-key scheme.
 """
 
 from .cache import ResultCache, cache_from_env
-from .pool import Runtime, RuntimeStats, seed_sweep
+from .pool import Runtime, RuntimeStats, cell_error, is_cell_error, seed_sweep
 from .spec import SPEC_VERSION, RunSpec, canonical_json, canonicalize, resolve
 
 __all__ = [
@@ -27,6 +27,8 @@ __all__ = [
     "cache_from_env",
     "canonical_json",
     "canonicalize",
+    "cell_error",
+    "is_cell_error",
     "resolve",
     "seed_sweep",
 ]

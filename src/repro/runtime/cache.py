@@ -24,6 +24,11 @@ class ResultCache:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries encountered (count + keys, in discovery order):
+        #: the runtime surfaces these as ``cache.corrupt`` obs events so a
+        #: torn cache is visible, not silently absorbed as rerun time.
+        self.corrupt = 0
+        self.corrupt_keys: list = []
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -38,7 +43,10 @@ class ResultCache:
         except FileNotFoundError:
             return False, None
         except (OSError, ValueError, KeyError):
-            # Torn/corrupt entry: behave as a miss, the rerun overwrites it.
+            # Torn/corrupt entry: behave as a miss, the rerun overwrites
+            # it — but remember the key so the miss is observable.
+            self.corrupt += 1
+            self.corrupt_keys.append(key)
             return False, None
 
     def put(self, key: str, spec: Dict[str, Any], result: Any) -> None:

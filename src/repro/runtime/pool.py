@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .cache import ResultCache, cache_from_env
 from .spec import RunSpec
@@ -31,6 +33,22 @@ def _execute(fn: str, kwargs: dict) -> Any:
     return RunSpec(fn, kwargs).execute()
 
 
+def cell_error(fn: str, kind: str, message: str, attempts: int) -> dict:
+    """The structured result of a quarantined (poisoned) cell.
+
+    Shaped like any other canonical-JSON result so it merges, orders and
+    serialises normally — callers test ``is_cell_error`` instead of
+    catching exceptions mid-merge.  Never cached: the next run retries.
+    """
+    return {"cell_error": {"fn": fn, "kind": kind,
+                           "message": message, "attempts": attempts}}
+
+
+def is_cell_error(result: Any) -> bool:
+    """True for a :func:`cell_error` placeholder result."""
+    return isinstance(result, dict) and "cell_error" in result
+
+
 @dataclass
 class RuntimeStats:
     """Bookkeeping of one runtime's lifetime (inspectable in tests/CLI)."""
@@ -39,6 +57,11 @@ class RuntimeStats:
     cache_hits: int = 0
     cache_stores: int = 0
     batches: List[int] = field(default_factory=list)
+    #: Guarded-mode accounting (``cell_timeout_s`` / ``quarantine``).
+    retries_used: int = 0
+    quarantined: int = 0
+    #: Corrupt cache entries encountered (mirrors ``ResultCache.corrupt``).
+    cache_corrupt: int = 0
 
 
 class Runtime:
@@ -49,19 +72,44 @@ class Runtime:
     The serial path executes specs through exactly the same
     resolve-call-canonicalize pipeline as a pool worker, so switching
     ``jobs`` can never change results — only wall-clock time.
+
+    **Guarded mode** (``cell_timeout_s`` set and/or ``quarantine=True``)
+    adds poisoned-cell containment: a cell that times out, raises, or
+    kills its worker is retried once (``retries``), and on repeated
+    failure resolves to a structured :func:`cell_error` result instead of
+    wedging the pool or aborting the merge.  A timeout tears the stuck
+    worker processes down and rebuilds the pool; innocent cells that were
+    in flight are re-run without consuming their retry budget.  Timeouts
+    need process isolation, so the serial path enforces only the
+    exception/quarantine half of the contract.  Error results are never
+    cached.  Default (unguarded) behaviour is unchanged: any failure
+    propagates immediately, as before.
     """
 
     def __init__(self, jobs: Optional[int] = 1,
-                 cache: Optional[object] = None) -> None:
+                 cache: Optional[object] = None,
+                 cell_timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 quarantine: bool = False) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.jobs = jobs
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
+        self.cell_timeout_s = cell_timeout_s
+        self.retries = retries
+        self.quarantine = quarantine or cell_timeout_s is not None
         self.stats = RuntimeStats()
+        #: Bound by ``ObsContext.register_runtime``; when present (and its
+        #: bus has a clock), corrupt cache entries emit ``cache.corrupt``.
+        self.obs = None
 
     @classmethod
     def from_env(cls, env: Optional[dict] = None) -> "Runtime":
@@ -84,6 +132,7 @@ class Runtime:
         results: List[Any] = [None] * len(specs)
         todo: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
+        corrupt_before = self.cache.corrupt if self.cache is not None else 0
         for i, spec in enumerate(specs):
             if self.cache is not None:
                 keys[i] = spec.key()
@@ -93,28 +142,176 @@ class Runtime:
                     results[i] = value
                     continue
             todo.append(i)
+        if self.cache is not None and self.cache.corrupt > corrupt_before:
+            self._note_cache_corruption(corrupt_before)
         self.stats.batches.append(len(todo))
         if not todo:
             return results
         if self.jobs == 1 or len(todo) == 1:
-            for i in todo:
-                results[i] = specs[i].execute()
-                self.stats.executed += 1
+            if self.quarantine:
+                self._run_serial_guarded(specs, todo, results)
+            else:
+                for i in todo:
+                    results[i] = specs[i].execute()
+                    self.stats.executed += 1
         else:
             workers = min(self.jobs, len(todo))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_execute, specs[i].fn, dict(specs[i].kwargs))
-                    for i in todo
-                ]
-                for i, future in zip(todo, futures):
-                    results[i] = future.result()
-                    self.stats.executed += 1
+            if self.quarantine:
+                self._run_pool_guarded(specs, todo, results, workers)
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_execute, specs[i].fn,
+                                    dict(specs[i].kwargs))
+                        for i in todo
+                    ]
+                    for i, future in zip(todo, futures):
+                        results[i] = future.result()
+                        self.stats.executed += 1
         if self.cache is not None:
             for i in todo:
+                if is_cell_error(results[i]):
+                    continue  # a hit must never replay a failure
                 self.cache.put(keys[i], specs[i].describe(), results[i])
                 self.stats.cache_stores += 1
         return results
+
+    # ------------------------------------------------------------------
+    # Guarded execution (timeout / retry / quarantine)
+    # ------------------------------------------------------------------
+    def _note_cache_corruption(self, seen_before: int) -> None:
+        """Surface newly-discovered corrupt cache entries as obs events."""
+        new_keys = self.cache.corrupt_keys[seen_before:]
+        self.stats.cache_corrupt += len(new_keys)
+        obs = self.obs
+        if obs is None or getattr(obs, "sim", None) is None:
+            return
+        from ..obs.trace import WARNING
+        for key in new_keys:
+            obs.bus.emit("cache.corrupt", component="runtime",
+                         severity=WARNING, key=key)
+
+    def _charge(self, attempts: Dict[int, int], i: int, spec: RunSpec,
+                kind: str, message: str, results: List[Any],
+                pending: List[int]) -> None:
+        """Consume one attempt of cell ``i``; requeue or quarantine."""
+        attempts[i] += 1
+        if attempts[i] <= self.retries:
+            self.stats.retries_used += 1
+            pending.append(i)
+        else:
+            results[i] = cell_error(spec.fn, kind, message, attempts[i])
+            self.stats.quarantined += 1
+
+    def _run_serial_guarded(self, specs: Sequence[RunSpec],
+                            todo: Sequence[int],
+                            results: List[Any]) -> None:
+        """In-process guarded path: exceptions contained, no timeouts
+        (a hung cell cannot be interrupted without a worker process)."""
+        attempts: Dict[int, int] = {i: 0 for i in todo}
+        pending: List[int] = list(todo)
+        while pending:
+            i = pending.pop(0)
+            try:
+                results[i] = specs[i].execute()
+                self.stats.executed += 1
+            except Exception as exc:
+                self._charge(attempts, i, specs[i], "exception",
+                             f"{type(exc).__name__}: {exc}", results, pending)
+
+    def _run_pool_guarded(self, specs: Sequence[RunSpec],
+                          todo: Sequence[int], results: List[Any],
+                          workers: int) -> None:
+        """Pool path with containment.
+
+        Cells are submitted in waves; completions are harvested in
+        submission order with a per-cell ``result(timeout=...)``.  A
+        timeout means the cell's worker is stuck, so the pool (the only
+        interruption boundary ``concurrent.futures`` offers) is torn
+        down: already-finished futures are harvested first, the stuck
+        cell is charged an attempt, and unfinished innocents return to
+        pending uncharged.  A worker that dies hard (``os._exit``,
+        signal) breaks the whole pool; the cell being awaited is charged
+        — attribution is imprecise for hard crashes, but every wave
+        charges at least one attempt, so the loop always terminates.
+        """
+        attempts: Dict[int, int] = {i: 0 for i in todo}
+        pending: List[int] = list(todo)
+        while pending:
+            wave = list(pending)
+            pending = []
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(wave)))
+            futures = [
+                pool.submit(_execute, specs[i].fn, dict(specs[i].kwargs))
+                for i in wave
+            ]
+            broken = False
+            for pos, (i, future) in enumerate(zip(wave, futures)):
+                try:
+                    results[i] = future.result(timeout=self.cell_timeout_s)
+                    self.stats.executed += 1
+                except _FutureTimeout:
+                    # Drain finished neighbours, then kill the pool: the
+                    # stuck cell is charged, unfinished innocents requeue
+                    # without consuming their retry budget.
+                    for j, other in zip(wave[pos + 1:], futures[pos + 1:]):
+                        self._harvest_or_requeue(specs, attempts, j, other,
+                                                 results, pending,
+                                                 charge_failures=True)
+                    self._kill_pool(pool)
+                    self._charge(attempts, i, specs[i], "timeout",
+                                 f"cell exceeded {self.cell_timeout_s}s",
+                                 results, pending)
+                    broken = True
+                    break
+                except BrokenProcessPool:
+                    self._charge(attempts, i, specs[i], "worker_crash",
+                                 "worker process died", results, pending)
+                    for j, other in zip(wave[pos + 1:], futures[pos + 1:]):
+                        self._harvest_or_requeue(specs, attempts, j, other,
+                                                 results, pending,
+                                                 charge_failures=True)
+                    self._kill_pool(pool)
+                    broken = True
+                    break
+                except Exception as exc:
+                    self._charge(attempts, i, specs[i], "exception",
+                                 f"{type(exc).__name__}: {exc}",
+                                 results, pending)
+            if not broken:
+                pool.shutdown(wait=True)
+
+    def _harvest_or_requeue(self, specs: Sequence[RunSpec],
+                            attempts: Dict[int, int], i: int, future,
+                            results: List[Any], pending: List[int],
+                            charge_failures: bool = False) -> None:
+        """Collect a finished future; requeue an unfinished one uncharged."""
+        if future.done():
+            try:
+                results[i] = future.result(timeout=0)
+                self.stats.executed += 1
+                return
+            except BrokenProcessPool:
+                pass  # never started/finished: innocent, requeue below
+            except Exception as exc:
+                if charge_failures:
+                    self._charge(attempts, i, specs[i], "exception",
+                                 f"{type(exc).__name__}: {exc}",
+                                 results, pending)
+                    return
+        pending.append(i)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate worker processes and discard the executor.
+
+        ``shutdown(wait=True)`` would block behind a stuck worker — the
+        exact wedge guarded mode exists to prevent — so the workers are
+        terminated first and the shutdown is non-blocking.
+        """
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def run(self, spec: RunSpec) -> Any:
         """Convenience: execute a single spec (cache-aware)."""
@@ -131,6 +328,9 @@ class Runtime:
             "cache_stores": stats.cache_stores,
             "batches": len(stats.batches),
             "hit_ratio": (stats.cache_hits / seen) if seen else 0.0,
+            "retries_used": stats.retries_used,
+            "quarantined": stats.quarantined,
+            "cache_corrupt": stats.cache_corrupt,
         }
 
 

@@ -1,0 +1,136 @@
+"""Canary rollout: SLO-gated promotion, automatic rollback, timeouts.
+
+Includes the PR's acceptance scenario: a pathological RWND clamp staged
+on a 25% cohort is detected and rolled back within two epochs, and the
+conforming cohort's p99 FCT stays within noise of a no-canary control
+run (same seed, same arrival processes).
+"""
+
+import pytest
+
+from repro.control import Service, ServiceConfig
+from repro.control.canary import CanaryRollout, TenantPolicy
+from repro.experiments import canary as canary_experiment
+
+
+# ---------------------------------------------------------------------------
+# State machine (pure unit)
+# ---------------------------------------------------------------------------
+
+def fresh_rollout(**overrides):
+    defaults = dict(candidate=TenantPolicy(max_rwnd=1460), cohort=["h1"],
+                    prior={"h1": TenantPolicy()}, started_epoch=2,
+                    promote_after=2, timeout_epochs=4)
+    defaults.update(overrides)
+    return CanaryRollout(**defaults)
+
+
+def test_rollout_promotes_after_healthy_streak():
+    rollout = fresh_rollout()
+    assert rollout.tick(2, [], gradeable=True) == "hold"
+    assert rollout.tick(3, [], gradeable=True) == "promote"
+    assert rollout.state == "promoted" and rollout.reason == "healthy_streak"
+
+
+def test_rollout_violation_rolls_back_with_deltas():
+    rollout = fresh_rollout()
+    deltas = [{"slo": "p99_fct", "canary": 9.0, "baseline": 1.0, "limit": 2.0}]
+    assert rollout.tick(2, deltas, gradeable=True) == "rollback"
+    assert rollout.state == "rolled_back"
+    assert rollout.reason == "slo_violation"
+    assert rollout.violations == deltas
+
+
+def test_ungradeable_epochs_reset_the_streak_and_time_out():
+    rollout = fresh_rollout()
+    assert rollout.tick(2, [], gradeable=True) == "hold"
+    assert rollout.tick(3, [], gradeable=False) == "hold"  # streak resets
+    assert rollout.healthy_epochs == 0
+    assert rollout.tick(4, [], gradeable=True) == "hold"
+    # Epoch 5 is the 4th canary epoch: the timeout fires before a new
+    # 2-epoch streak can complete.
+    assert rollout.tick(5, [], gradeable=False) == "rollback"
+    assert rollout.reason == "timeout"
+
+
+def test_finished_rollout_refuses_further_ticks():
+    rollout = fresh_rollout()
+    rollout.abort(3, "abort")
+    with pytest.raises(RuntimeError):
+        rollout.tick(4, [], gradeable=True)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end service runs
+# ---------------------------------------------------------------------------
+
+def test_promotion_rolls_candidate_out_fleet_wide():
+    candidate = {"beta": 0.8}
+    svc = Service(
+        ServiceConfig(n_hosts=4, epoch_s=0.02, arrival_rate_hz=400.0,
+                      peers=2, seed=7),
+        schedule=[{"epoch": 0, "op": "canary_start", "policy": candidate,
+                   "hosts": ["h2"], "promote_after": 2}])
+    result = svc.run(4)
+    assert result["canary"]["state"] == "promoted"
+    assert all(p["beta"] == 0.8 for p in result["policies"].values())
+    promotes = [r for r in svc.obs.bus.records()
+                if r["type"] == "control.canary" and r["state"] == "promote"]
+    assert promotes
+    # Promotion blessed the candidate: the kill switch would now restore
+    # the *candidate*, not the pre-canary policy.
+    assert (svc.control.last_known_good["policies"]["h1"]["beta"] == 0.8)
+
+
+def test_stuck_canary_times_out_into_rollback():
+    # Starve the evaluator: ~1 arrival/host/epoch can never reach the
+    # 4-sample floor on a single-host cohort, so every epoch is
+    # ungradeable and only the timeout can end the rollout.
+    svc = Service(
+        ServiceConfig(n_hosts=4, epoch_s=0.01, arrival_rate_hz=100.0,
+                      peers=1, msg_sizes=[16_384], msg_weights=[1], seed=7),
+        schedule=[{"epoch": 0, "op": "canary_start", "policy": {"beta": 0.9},
+                   "hosts": ["h4"], "timeout_epochs": 3}])
+    result = svc.run(6)
+    assert result["canary"]["state"] == "rolled_back"
+    assert result["canary"]["reason"] == "timeout"
+    assert result["canary"]["ended_epoch"] == 2
+    assert result["policies"]["h4"]["beta"] == 1.0  # prior restored
+
+
+def test_acceptance_bad_canary_rolls_back_within_two_epochs():
+    result = canary_experiment.run(seed=0, quick=True)
+    summary = result["summary"]
+    assert summary["rolled_back"]
+    assert summary["reason"] == "slo_violation"
+    assert summary["epochs_to_rollback"] <= 2
+    assert any(v["slo"] == "p99_fct" for v in summary["violations"])
+    # The conforming cohort must not notice the canary: per-host p99 in
+    # the canary run within noise of the no-canary control run.
+    ratios = summary["conforming_p99_ratio_per_host"]
+    assert ratios
+    for addr, ratio in ratios.items():
+        assert 0.5 <= ratio <= 1.5, f"{addr} p99 moved {ratio:.2f}x"
+    # The control run never canaried anything.
+    assert result["control_run"]["canary"] == {"state": "idle"}
+    # After rollback the cohort's policy is the pre-canary one.
+    for addr in summary["cohort"]:
+        assert result["canary_run"]["policies"][addr]["max_rwnd"] is None
+
+
+def test_rollback_event_carries_violating_slo_deltas():
+    svc = Service(
+        ServiceConfig(n_hosts=6, epoch_s=0.02, seed=1),
+        schedule=[{"epoch": 1, "op": "canary_start",
+                   "policy": {"max_rwnd": canary_experiment.BAD_MAX_RWND},
+                   "fraction": 0.25}])
+    result = svc.run(5)
+    assert result["canary"]["state"] == "rolled_back"
+    (event,) = [r for r in svc.obs.bus.records()
+                if r["type"] == "control.rollback"]
+    assert event["sev"] == "warning"
+    assert event["reason"] == "slo_violation"
+    assert event["cohort"] == result["canary"]["cohort"]
+    assert event["violations"], "rollback must explain itself"
+    for violation in event["violations"]:
+        assert {"slo", "canary", "baseline", "limit"} <= set(violation)

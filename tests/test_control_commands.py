@@ -1,0 +1,228 @@
+"""Command validation and all-or-nothing application (repro.control)."""
+
+import pytest
+
+from repro.control import Service, ServiceConfig, TenantPolicy
+from repro.control.commands import CommandError, command_shape
+
+
+def tiny_service(**overrides):
+    defaults = dict(n_hosts=4, epoch_s=0.01, arrival_rate_hz=100.0,
+                    msg_sizes=[16_384], msg_weights=[1], peers=1, seed=3)
+    defaults.update(overrides)
+    return Service(ServiceConfig(**defaults))
+
+
+# ---------------------------------------------------------------------------
+# TenantPolicy / shape parsing
+# ---------------------------------------------------------------------------
+
+def test_tenant_policy_round_trips():
+    policy = TenantPolicy(algorithm="reno", beta=0.5, max_rwnd=10_000)
+    assert TenantPolicy.from_json(policy.to_json()) == policy
+
+
+@pytest.mark.parametrize("raw, fragment", [
+    ("not-a-dict", "must be an object"),
+    ({"algorithm": "warp"}, "invalid policy"),
+    ({"beta": 7.0}, "invalid policy"),
+    ({"max_rwnd": -4}, "invalid policy"),
+    ({"algorithm": "dctcp", "extra": 1}, "unknown policy field"),
+])
+def test_tenant_policy_rejections(raw, fragment):
+    with pytest.raises(CommandError, match=fragment):
+        TenantPolicy.from_json(raw)
+
+
+@pytest.mark.parametrize("raw, fragment", [
+    ([], "must be an object"),
+    ({"op": "set_policy"}, "epoch must be"),
+    ({"epoch": -1, "op": "set_policy"}, "epoch must be"),
+    ({"epoch": True, "op": "set_policy"}, "epoch must be"),
+    ({"epoch": 0, "op": "reboot"}, "unknown op"),
+])
+def test_command_shape_rejections(raw, fragment):
+    with pytest.raises(CommandError, match=fragment):
+        command_shape(raw)
+
+
+# ---------------------------------------------------------------------------
+# Queue-level rejection (malformed commands never enter the queue)
+# ---------------------------------------------------------------------------
+
+def test_malformed_submit_is_logged_not_queued():
+    svc = tiny_service()
+    svc.control.submit("garbage")
+    svc.control.submit({"epoch": 0, "op": "reboot"})
+    assert [e["status"] for e in svc.control.log] == ["rejected"] * 2
+    assert svc.control.drain(99) == []  # nothing was queued
+    kinds = [r for r in svc.obs.bus.records()
+             if r["type"] == "control.command"]
+    assert all(r["status"] == "rejected" and r["reason"] for r in kinds)
+
+
+# ---------------------------------------------------------------------------
+# set_policy
+# ---------------------------------------------------------------------------
+
+def test_set_policy_rejects_unknown_host_and_applies_nothing():
+    svc = tiny_service()
+    before = dict(svc.control.intended)
+    svc.control.submit({"epoch": 0, "op": "set_policy",
+                        "hosts": ["h1", "mystery"],
+                        "policy": {"max_rwnd": 9000}})
+    (outcome,) = svc.control.drain(0)
+    assert outcome["status"] == "rejected"
+    assert "mystery" in outcome["reason"]
+    assert svc.control.intended == before
+
+
+def test_set_policy_rejects_unknown_fields_and_missing_policy():
+    svc = tiny_service()
+    svc.control.submit({"epoch": 0, "op": "set_policy",
+                        "policy": {}, "bogus": 1})
+    svc.control.submit({"epoch": 0, "op": "set_policy"})
+    first, second = svc.control.drain(0)
+    assert first["status"] == "rejected" and "bogus" in first["reason"]
+    assert second["status"] == "rejected" and "policy" in second["reason"]
+
+
+def test_set_policy_applies_to_named_hosts_only():
+    svc = tiny_service()
+    svc.control.submit({"epoch": 0, "op": "set_policy", "hosts": ["h2"],
+                        "policy": {"max_rwnd": 9000}})
+    (outcome,) = svc.control.drain(0)
+    assert outcome["status"] == "applied"
+    assert svc.control.intended["h2"].max_rwnd == 9000
+    assert svc.control.intended["h1"].max_rwnd is None
+    assert svc.vswitches["h2"].policy.default.max_rwnd == 9000
+
+
+def test_set_policy_conflicts_with_active_canary_cohort():
+    svc = tiny_service()
+    svc.control.submit({"epoch": 0, "op": "canary_start",
+                        "policy": {"max_rwnd": 9000}, "hosts": ["h3"]})
+    svc.control.drain(0)
+    svc.control.submit({"epoch": 1, "op": "set_policy", "hosts": ["h3"],
+                        "policy": {"beta": 0.5}})
+    svc.control.submit({"epoch": 1, "op": "set_policy", "hosts": ["h1"],
+                        "policy": {"beta": 0.5}})
+    clash, ok = svc.control.drain(1)
+    assert clash["status"] == "rejected" and "canary" in clash["reason"]
+    assert ok["status"] == "applied"
+
+
+# ---------------------------------------------------------------------------
+# set_guard
+# ---------------------------------------------------------------------------
+
+def test_set_guard_requires_guard_mode():
+    svc = tiny_service(guard=False)
+    svc.control.submit({"epoch": 0, "op": "set_guard",
+                        "params": {"clean_windows": 5}})
+    (outcome,) = svc.control.drain(0)
+    assert outcome["status"] == "rejected"
+    assert "not enabled" in outcome["reason"]
+
+
+def test_set_guard_applies_to_every_host():
+    svc = tiny_service(guard=True)
+    svc.control.submit({"epoch": 0, "op": "set_guard",
+                        "params": {"clean_windows": 7,
+                                   "suspect_violation_rate": 0.1}})
+    (outcome,) = svc.control.drain(0)
+    assert outcome["status"] == "applied"
+    for guard in svc.guards.values():
+        assert guard.config.clean_windows == 7
+        assert guard.config.suspect_violation_rate == 0.1
+
+
+@pytest.mark.parametrize("params", [
+    {"clean_windows": 5, "seed": 9},          # immutable field mixed in
+    {"clean_windows": 5, "nonsense": 1},      # unknown field mixed in
+    {"clean_windows": -3},                    # invalid value
+])
+def test_set_guard_is_all_or_nothing(params):
+    svc = tiny_service(guard=True)
+    before = {a: g.config.clean_windows for a, g in svc.guards.items()}
+    svc.control.submit({"epoch": 0, "op": "set_guard", "params": params})
+    (outcome,) = svc.control.drain(0)
+    assert outcome["status"] == "rejected"
+    # The valid half of the change must not have leaked onto any host.
+    assert {a: g.config.clean_windows
+            for a, g in svc.guards.items()} == before
+
+
+# ---------------------------------------------------------------------------
+# canary_start / canary_abort / kill_switch
+# ---------------------------------------------------------------------------
+
+def test_canary_start_validation():
+    svc = tiny_service()
+    svc.control.submit({"epoch": 0, "op": "canary_start"})
+    svc.control.submit({"epoch": 0, "op": "canary_start",
+                        "policy": {}, "fraction": 1.5})
+    svc.control.submit({"epoch": 0, "op": "canary_start",
+                        "policy": {}, "hosts": ["h1", "h2", "h3", "h4"]})
+    svc.control.submit({"epoch": 0, "op": "canary_start",
+                        "policy": {}, "promote_after": 0})
+    outcomes = svc.control.drain(0)
+    assert [o["status"] for o in outcomes] == ["rejected"] * 4
+    reasons = " | ".join(o["reason"] for o in outcomes)
+    assert "candidate policy" in reasons and "fraction" in reasons
+    assert "baseline" in reasons and "promote_after" in reasons
+
+
+def test_second_canary_while_active_is_rejected():
+    svc = tiny_service()
+    svc.control.submit({"epoch": 0, "op": "canary_start",
+                        "policy": {"max_rwnd": 9000}, "fraction": 0.25})
+    svc.control.submit({"epoch": 0, "op": "canary_start",
+                        "policy": {"max_rwnd": 5000}, "fraction": 0.25})
+    first, second = svc.control.drain(0)
+    assert first["status"] == "applied"
+    assert second["status"] == "rejected"
+    assert "already active" in second["reason"]
+
+
+def test_canary_abort_without_rollout_is_rejected():
+    svc = tiny_service()
+    svc.control.submit({"epoch": 0, "op": "canary_abort"})
+    (outcome,) = svc.control.drain(0)
+    assert outcome["status"] == "rejected"
+    assert "no active canary" in outcome["reason"]
+
+
+def test_canary_abort_restores_prior_policy():
+    svc = tiny_service()
+    svc.control.submit({"epoch": 0, "op": "canary_start",
+                        "policy": {"max_rwnd": 9000}, "hosts": ["h2"]})
+    svc.control.drain(0)
+    assert svc.control.intended["h2"].max_rwnd == 9000
+    svc.control.submit({"epoch": 1, "op": "canary_abort"})
+    (outcome,) = svc.control.drain(1)
+    assert outcome["status"] == "applied"
+    assert svc.control.rollout.state == "rolled_back"
+    assert svc.control.rollout.reason == "abort"
+    assert svc.control.intended["h2"].max_rwnd is None
+
+
+def test_kill_switch_reverts_policy_and_guard_state():
+    svc = tiny_service(guard=True)
+    svc.control.submit({"epoch": 0, "op": "set_guard",
+                        "params": {"clean_windows": 9}})
+    svc.control.drain(0)
+    # clean_windows=9 was applied outside a canary: it IS known-good now.
+    svc.control.submit({"epoch": 1, "op": "canary_start",
+                        "policy": {"max_rwnd": 9000}, "hosts": ["h1"]})
+    svc.control.drain(1)
+    svc.control.submit({"epoch": 2, "op": "kill_switch"})
+    (outcome,) = svc.control.drain(2)
+    assert outcome["status"] == "applied"
+    assert svc.control.rollout.state == "rolled_back"
+    assert svc.control.rollout.reason == "kill_switch"
+    assert all(p.max_rwnd is None for p in svc.control.intended.values())
+    assert all(g.config.clean_windows == 9 for g in svc.guards.values())
+    rollbacks = [r for r in svc.obs.bus.records()
+                 if r["type"] == "control.rollback"]
+    assert rollbacks and rollbacks[-1]["reason"] == "kill_switch"

@@ -1,0 +1,39 @@
+"""Game day: faults x adversarial tenant x sanitizer x pool runtime,
+composed in one service run that must complete cleanly."""
+
+from repro.experiments.gameday import gameday_cell, run
+from repro.runtime import Runtime, is_cell_error
+
+
+def test_gameday_completes_cleanly_and_deterministically():
+    # Two seeds through the guarded pool runtime: the sanitizer is armed
+    # inside each cell, so a datapath invariant violation would surface
+    # as a quarantined cell_error here, not a silent pass.
+    rt = Runtime(jobs=2, quarantine=True)
+    result = run(quick=True, seeds=[0, 1], runtime=rt)
+    assert rt.stats.quarantined == 0
+    for per_seed in result["per_seed"]:
+        assert not is_cell_error(per_seed)
+        inner = per_seed["result"]
+        # Chaos actually happened and the control plane actually acted.
+        assert sum(inner["faults"].values()) > 0
+        assert per_seed["commands_rejected"] == 1  # the malformed one
+        assert per_seed["commands_applied"] == 3
+        assert inner["config"]["sanitize"] is True
+        assert inner["counters"]["completed"] > 0
+        assert inner["canary"]["state"] == "rolled_back"
+    # Stable event signature: a serial re-run of the same cell produces
+    # the identical trace hash the pooled run produced.
+    serial = gameday_cell(seed=0, epochs=4, n_hosts=4)
+    assert serial["signature"] == result["per_seed"][0]["signature"]
+
+
+def test_gameday_flows_survive_the_ordeal():
+    cell = gameday_cell(seed=2, epochs=4, n_hosts=4)
+    inner = cell["result"]
+    # No wedge: a healthy majority of arrivals completed despite loss,
+    # flaps, an RWND-ignoring tenant and two policy swings.
+    assert inner["counters"]["completed"] >= \
+        0.5 * inner["counters"]["arrivals"]
+    # The kill switch left every host on last-known-good.
+    assert all(p["max_rwnd"] is None for p in inner["policies"].values())

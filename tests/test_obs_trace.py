@@ -131,7 +131,8 @@ def test_every_schema_type_is_emittable():
     filler = {"state": "x", "wnd_bytes": 1, "rewritten": False,
               "direction": "egress", "reason": "r", "kind": "k",
               "cause": "c", "queue_bytes": 0, "invariant": "i",
-              "path": "/tmp/x"}
+              "path": "/tmp/x", "op": "set_policy", "status": "applied",
+              "key": "0" * 64}
     for type_, required in EVENT_SCHEMAS.items():
         assert bus.emit(type_, **{f: filler[f] for f in required})
     assert len(bus) == len(EVENT_SCHEMAS)
