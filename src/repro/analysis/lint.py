@@ -56,7 +56,10 @@ class LintConfig:
         if any(norm.endswith(sfx) for sfx in self.serial_helper_suffixes):
             codes.discard("RL001")
         if any(norm.endswith(sfx) for sfx in self.rng_registry_suffixes):
+            # The registry both seeds its own Randoms (RL002) and is the
+            # sanctioned construction site RL006 points everyone else to.
             codes.discard("RL002")
+            codes.discard("RL006")
         return codes
 
 

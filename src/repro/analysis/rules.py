@@ -24,6 +24,17 @@ Each rule targets a bug class that has already cost a PR to fix by hand
 * **RL005 mutable-default-arg** — a list/dict/set (literal, comprehension
   or constructor) as a parameter default: shared across calls, a classic
   source of cross-flow state bleed.
+* **RL006 non-snapshot-safe-state** — state that checkpoint/restore
+  (DESIGN.md §13) cannot capture: a module-level mutable registry
+  (lowercase module-level name bound to a dict/list/set/deque/
+  ``itertools.count``...), a ``global`` statement (the tell-tale of a
+  module-level counter being mutated), or a ``random.Random(...)``
+  constructed directly instead of drawn from the
+  :class:`repro.sim.rng.RngFactory` registry.  A snapshot pickles the
+  *object graph reachable from the service*; module globals and private
+  RNGs are invisible to it and silently reset on restore.  ALL_CAPS
+  module constants are exempt by convention (they are configuration,
+  not run state).
 """
 
 from __future__ import annotations
@@ -49,6 +60,10 @@ RULE_CATALOG: Dict[str, str] = {
              "timestamps; compare with ordering or an epsilon",
     "RL005": "mutable-default-arg: mutable default parameter value is "
              "shared across calls",
+    "RL006": "non-snapshot-safe-state: module-level mutable registry, "
+             "global-statement counter, or direct random.Random "
+             "construction outside sim.rng; invisible to "
+             "checkpoint/restore",
     "RL999": "parse-error: file could not be parsed",
 }
 
@@ -128,6 +143,20 @@ def _is_mutable_literal(node: ast.AST) -> bool:
     return False
 
 
+#: RL006: stateful-iterator constructors — a module-level
+#: ``itertools.count()`` is a registry of one mutable cursor.
+_STATEFUL_ITER_CALLEES = {"count", "cycle", "chain", "repeat"}
+
+
+def _is_registry_value(node: ast.AST) -> bool:
+    """Mutable containers *or* stateful iterators (RL006 scope)."""
+    if _is_mutable_literal(node):
+        return True
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func) in _STATEFUL_ITER_CALLEES
+    return False
+
+
 class RuleVisitor(ast.NodeVisitor):
     """Single-pass visitor emitting raw (pre-suppression) violations."""
 
@@ -140,6 +169,7 @@ class RuleVisitor(ast.NodeVisitor):
         # (or their nondeterministic members) are reachable in this file.
         self._random_aliases: Set[str] = set()
         self._random_func_names: Set[str] = set()
+        self._random_class_names: Set[str] = set()  # `from random import Random`
         self._time_aliases: Set[str] = set()
         self._time_func_names: Set[str] = set()
         self._datetime_aliases: Set[str] = set()  # datetime module or class
@@ -179,7 +209,10 @@ class RuleVisitor(ast.NodeVisitor):
         if node.module == "random":
             for alias in node.names:
                 if alias.name == "Random":
-                    continue  # seeded construction is checked at call sites
+                    # Construction is checked at call sites (RL002 when
+                    # unseeded, RL006 when built outside the registry).
+                    self._random_class_names.add(alias.asname or alias.name)
+                    continue
                 self._random_func_names.add(alias.asname or alias.name)
         elif node.module == "time":
             for alias in node.names:
@@ -278,6 +311,16 @@ class RuleVisitor(ast.NodeVisitor):
                 self._emit("RL002", node,
                            f"module-level random function {func.id}() uses "
                            "the shared global RNG (use an RngFactory stream)")
+            elif func.id in self._random_class_names:
+                if not node.args and not node.keywords:
+                    self._emit("RL002", node,
+                               "unseeded Random() is nondeterministic "
+                               "(seed it, or use an RngFactory stream)")
+                else:
+                    self._emit("RL006", node,
+                               "direct Random(...) construction bypasses "
+                               "the RngFactory stream registry; its "
+                               "position is invisible to snapshots")
             elif func.id in self._time_func_names:
                 self._emit("RL003", node,
                            f"wall-clock call {func.id}() "
@@ -290,6 +333,11 @@ class RuleVisitor(ast.NodeVisitor):
                 self._emit("RL002", node,
                            "unseeded random.Random() is nondeterministic "
                            "(seed it, or use an RngFactory stream)")
+            else:
+                self._emit("RL006", node,
+                           "direct random.Random(...) construction bypasses "
+                           "the RngFactory stream registry; its position "
+                           "is invisible to snapshots")
         elif attr == "SystemRandom":
             self._emit("RL002", node,
                        "random.SystemRandom is nondeterministic by design")
@@ -297,6 +345,48 @@ class RuleVisitor(ast.NodeVisitor):
             self._emit("RL002", node,
                        f"module-level random.{attr}() uses the shared "
                        "global RNG (use an RngFactory stream)")
+
+    # ------------------------------------------------------------------
+    # RL006: module-level mutable registries and global counters
+    # ------------------------------------------------------------------
+    def _check_module_binding(self, node: ast.AST, target: ast.AST,
+                              value: Optional[ast.AST]) -> None:
+        """Flag ``name = <mutable>`` at module scope for non-constant
+        names.  ALL_CAPS bindings are configuration-by-convention and
+        dunders (``__all__``...) are interpreter protocol — both exempt."""
+        if value is None or not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if name.isupper() or name.startswith("__"):
+            return
+        if not isinstance(self.parent(node), ast.Module):
+            return
+        if _is_registry_value(value):
+            self._emit("RL006", node,
+                       f"module-level mutable registry '{name}' lives "
+                       "outside every snapshot (restored runs silently "
+                       "reset it); hold it on an object the run owns")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_module_binding(node, target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_module_binding(node, node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        # A `global` statement is the tell-tale of a module-level counter
+        # being written from inside a function — process-local state that
+        # no checkpoint captures (and immutable values like ints dodge
+        # the registry check above, so catch them at the mutation site).
+        names = ", ".join(node.names)
+        self._emit("RL006", node,
+                   f"global statement mutates module-level state "
+                   f"({names}); snapshots cannot capture it — hold it on "
+                   "an object the run owns")
+        self.generic_visit(node)
 
     # ------------------------------------------------------------------
     # RL005: mutable default arguments

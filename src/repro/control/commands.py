@@ -20,8 +20,10 @@ datapath.
 
 from __future__ import annotations
 
+import json
+import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..core.policy import FlowPolicy
 
@@ -75,6 +77,44 @@ class TenantPolicy:
         except (ValueError, TypeError) as exc:
             raise CommandError(f"invalid policy: {exc}") from exc
         return policy
+
+
+def encode_wal_entry(pos: int, command: object) -> str:
+    """One write-ahead-log line for a submitted command.
+
+    The body is canonical JSON (sorted keys, no whitespace) prefixed by
+    its crc32, so replay can tell a torn tail — a crash mid-append —
+    from a valid record without trusting the line to be complete.
+    """
+    body = json.dumps({"pos": pos, "command": command}, sort_keys=True,
+                      separators=(",", ":"), allow_nan=True)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}"
+
+
+def decode_wal_entry(line: str) -> Optional[Tuple[int, object]]:
+    """Parse one WAL line; ``None`` for a torn or corrupt line."""
+    line = line.rstrip("\n")
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_hex, body = line[:8], line[9:]
+    try:
+        crc = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        entry = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(entry, dict) or "pos" not in entry \
+            or "command" not in entry:
+        return None
+    pos = entry["pos"]
+    if isinstance(pos, int) and not isinstance(pos, bool) and pos >= 0:
+        return pos, entry["command"]
+    return None
 
 
 def command_shape(raw: object) -> tuple:

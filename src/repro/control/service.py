@@ -130,8 +130,10 @@ class _OpenLoopWorkload:
                     conn_opts=dict(conn_opts)))
             self.streams[src.addr] = streams
             rng = service.rngs.stream(f"service.arrivals.{src.addr}")
+            # Scheduled as a bound method with args (no lambdas): every
+            # pending arrival event must pickle for checkpoint/restore.
             sim.schedule(rng.expovariate(config.arrival_rate_hz),
-                         lambda s=src, r=rng: self._arrive(s.addr, r))
+                         self._arrive, src.addr, rng)
 
     def _arrive(self, addr: str, rng) -> None:
         stream = self.streams[addr][rng.randrange(len(self.streams[addr]))]
@@ -140,7 +142,7 @@ class _OpenLoopWorkload:
         stream.send_message(size)
         self.arrivals[addr] += 1
         self.sim.schedule(rng.expovariate(self.config.arrival_rate_hz),
-                          lambda: self._arrive(addr, rng))
+                          self._arrive, addr, rng)
 
 
 class ControlPlane:
@@ -164,6 +166,10 @@ class ControlPlane:
         self.log: List[dict] = []
         self._queue: List[tuple] = []
         self._seq = 0
+        #: Total submit() calls, shape-rejected ones included — the WAL
+        #: replay cursor for repro.recovery (a rejection is a visible
+        #: side effect too: it lands in the log and on the trace bus).
+        self.submitted = 0
         self.last_known_good = self._snapshot()
 
     # -- state snapshots ----------------------------------------------------
@@ -192,6 +198,7 @@ class ControlPlane:
         Commands whose *shape* is unparseable (not a dict, bad epoch,
         unknown op) cannot be placed in the queue at all; they are
         rejected immediately into the log."""
+        self.submitted += 1
         try:
             epoch, op = command_shape(raw)
         except CommandError as exc:
@@ -427,6 +434,10 @@ class Service:
         self._prev_counters = self._counters_now()
         self._prev_arrivals = dict(self.workload.arrivals)
         self._prev_t = 0.0
+        #: Closed-epoch reports so far (lives on the service, not in a
+        #: run() local, so a checkpointed service resumes mid-sequence).
+        self.reports: List[dict] = []
+        self.epochs_run = 0
 
     # ------------------------------------------------------------------
     def _counters_now(self) -> Dict[str, dict]:
@@ -503,16 +514,38 @@ class Service:
         return report
 
     # ------------------------------------------------------------------
+    @property
+    def next_epoch_end(self) -> float:
+        """Virtual end time of the epoch currently open."""
+        return (self.epochs_run + 1) * self.config.epoch_s
+
+    def run_epoch(self) -> dict:
+        """Run exactly one epoch to its boundary and close it.
+
+        The incremental unit `repro.recovery` snapshots between: after
+        ``run_epoch`` returns, the simulator sits exactly at an epoch
+        boundary with the boundary's commands already drained, so the
+        events of the next epoch are a pure function of the (restorable)
+        service state.
+        """
+        t_end = self.next_epoch_end
+        self.sim.run(until=t_end)
+        report = self._close_epoch(self.epochs_run, t_end)
+        self.reports.append(report)
+        self.epochs_run += 1
+        return report
+
     def run(self, epochs: int) -> dict:
-        """Run ``epochs`` epochs; returns the canonical service result."""
+        """Run ``epochs`` further epochs; returns the canonical result."""
         if epochs < 1:
             raise ValueError("at least one epoch")
-        reports = []
-        for epoch in range(epochs):
-            t_end = (epoch + 1) * self.config.epoch_s
-            self.sim.run(until=t_end)
-            reports.append(self._close_epoch(epoch, t_end))
-        return self._result(reports)
+        for _ in range(epochs):
+            self.run_epoch()
+        return self.result()
+
+    def result(self) -> dict:
+        """The canonical service result for the epochs run so far."""
+        return self._result(self.reports)
 
     def _result(self, reports: List[dict]) -> dict:
         recorder = self.workload.recorder

@@ -22,6 +22,7 @@ what the Fig. 11/12 CPU-overhead model consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..analysis import sanitize
@@ -547,8 +548,11 @@ class AcdcVswitch:
     # ------------------------------------------------------------------
     def _arm_inactivity(self, entry: FlowEntry) -> None:
         if entry.inactivity_timer is None:
+            # partial, not a lambda: timer callbacks live in the engine
+            # heap, which must stay picklable for checkpoint/restore
+            # (repro.recovery).
             entry.inactivity_timer = Timer(
-                self.sim, lambda e=entry: self._inactivity_fired(e))
+                self.sim, partial(self._inactivity_fired, entry))
         # Adapt to the flow's ACK cadence: on a long (WAN) path, ACKs
         # legitimately arrive one RTT apart, and a fixed datacenter-scale
         # timer would infer a timeout every round trip.

@@ -52,6 +52,44 @@ class FlowPolicy:
 Matcher = Callable[[FlowKey], bool]
 
 
+@dataclass(frozen=True)
+class FieldMatcher:
+    """Picklable flow-key matcher on one 5-tuple position.
+
+    Matchers used to be lambdas; rule tables sit inside live services
+    whose whole object graph is pickled by checkpoint/restore
+    (repro.recovery), and lambdas cannot be pickled.  ``remove_rule``
+    matches by object identity, so each call site still holds (and
+    removes by) the exact instance it registered.
+    """
+
+    index: int
+    value: object
+
+    def __call__(self, key: FlowKey) -> bool:
+        return key[self.index] == self.value
+
+
+@dataclass(frozen=True)
+class FlowMatcher:
+    """Exact 5-tuple match (per-flow penalty rules)."""
+
+    flow: FlowKey
+
+    def __call__(self, key: FlowKey) -> bool:
+        return key == self.flow
+
+
+@dataclass(frozen=True)
+class DstPrefixMatcher:
+    """Crude 'subnet' matcher on the destination address string."""
+
+    prefix: str
+
+    def __call__(self, key: FlowKey) -> bool:
+        return key[2].startswith(self.prefix)
+
+
 class PolicyEngine:
     """First-match rule table over flow 5-tuples."""
 
@@ -86,23 +124,23 @@ class PolicyEngine:
     # -- convenience matchers -------------------------------------------------
     @staticmethod
     def match_dst(dst: str) -> Matcher:
-        return lambda key: key[2] == dst
+        return FieldMatcher(2, dst)
 
     @staticmethod
     def match_src(src: str) -> Matcher:
-        return lambda key: key[0] == src
+        return FieldMatcher(0, src)
 
     @staticmethod
     def match_dport(dport: int) -> Matcher:
-        return lambda key: key[3] == dport
+        return FieldMatcher(3, dport)
 
     @staticmethod
     def match_flow(flow: FlowKey) -> Matcher:
         """Exact 5-tuple match (per-flow penalty rules)."""
-        return lambda key: key == flow
+        return FlowMatcher(flow)
 
     @staticmethod
     def match_dst_prefix(prefix: str) -> Matcher:
         """Crude 'subnet' matcher on the address string — enough to split
         WAN-bound from datacenter-internal traffic in the examples."""
-        return lambda key: key[2].startswith(prefix)
+        return DstPrefixMatcher(prefix)

@@ -22,7 +22,11 @@ datapath knowing it is being tortured:
   receiver module counts them (adversarial receiver / broken middlebox);
 * :class:`OptionStrip` — removes PACK/FACK feedback options in transit
   (option-dropping middlebox; exercises the guard's feedback-loss
-  fallback).
+  fallback);
+* :class:`WorkerKill` — SIGKILLs the process running the run at a
+  simulated instant, exactly once across restarts (sentinel-file
+  discipline); the crash-recovery path of :mod:`repro.recovery` is the
+  subsystem under test.
 
 Faults are composed into a :class:`FaultyDatapath` pipeline via
 :func:`install_faults`; every injector draws from its own named stream
@@ -44,6 +48,7 @@ from .injectors import (
     Reordering,
     Transparent,
     VswitchRestart,
+    WorkerKill,
     install_faults,
     is_data,
     is_pure_ack,
@@ -62,6 +67,7 @@ __all__ = [
     "Reordering",
     "Transparent",
     "VswitchRestart",
+    "WorkerKill",
     "install_faults",
     "is_data",
     "is_pure_ack",

@@ -22,6 +22,9 @@ bit-identical fault sequence, independent of other streams.
 
 from __future__ import annotations
 
+import os
+import signal
+from pathlib import Path
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..metrics.collectors import FaultRecorder
@@ -342,6 +345,89 @@ class VswitchRestart(Fault):
             restart()
         self.events += 1
         self.pipeline.record(self.kind)
+
+    def applies(self, pkt, direction):
+        return False
+
+    def process(self, pkt, pipeline, index, direction):  # pragma: no cover
+        return pkt
+
+
+class WorkerKill(Fault):
+    """SIGKILL this process at a simulated instant — exactly once.
+
+    Not a packet fault: it models the *environment* killing the process
+    running the enforcement stack (the OOM killer, a failed deploy, an
+    operator's fat finger).  SIGKILL is the honest signal to test with —
+    no handler runs, no destructor flushes, whatever was not already on
+    disk is gone.
+
+    Fire-once semantics must survive the death they cause: a restored
+    run resumes from a checkpoint taken *before* the kill instant, so
+    any in-object "already fired" flag would be resurrected as
+    "not fired" and the process would kill itself forever.  The flag
+    therefore lives outside the snapshot, as a sentinel file created
+    with ``O_EXCL`` immediately before the kill: the resumed incarnation
+    sees the sentinel and sails past the kill point.  One sentinel path
+    == one kill, however many times the run is restored.
+
+    Two usage modes:
+
+    * **standalone** — :class:`~repro.recovery.durable.DurableService`
+      calls :meth:`maybe_fire` when the engine reaches ``at``, without
+      scheduling an engine event, so the kill leaves no trace in the
+      calendar and the interrupted run stays byte-comparable to an
+      uninterrupted baseline;
+    * **chained** — attached to a :class:`FaultyDatapath`,
+      :meth:`attach` schedules the kill as an engine event (the
+      :class:`VswitchRestart` pattern).  This consumes a sequence
+      number, so only compare like-for-like runs.
+
+    ``sig`` exists for tests that want the sentinel discipline without
+    actually dying (e.g. ``signal.SIGTERM`` with a handler, or 0).
+    """
+
+    kind = "worker_kill"
+
+    def __init__(self, at: float, sentinel, sig: int = signal.SIGKILL):
+        super().__init__(0, "both", None)
+        if at < 0:
+            raise ValueError("kill time must be >= 0")
+        self.at = float(at)
+        self.sentinel = Path(sentinel)
+        self.sig = sig
+
+    def fired(self) -> bool:
+        """Has this kill already happened (in any incarnation)?"""
+        return self.sentinel.exists()
+
+    def maybe_fire(self) -> bool:
+        """Kill the process, unless the sentinel says we already did.
+
+        Returns False when the sentinel existed (or another process won
+        the O_EXCL race); does not return at all when the signal is
+        lethal.  The sentinel is fsynced before the kill so the
+        "already fired" fact itself cannot be lost to the crash.
+        """
+        self.sentinel.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(self.sentinel,
+                         os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write("fired\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.events += 1
+        if self.pipeline is not None:
+            self.pipeline.record(self.kind)
+        os.kill(os.getpid(), self.sig)
+        return True  # reached only for a non-lethal ``sig``
+
+    def attach(self, pipeline: "FaultyDatapath") -> None:
+        super().attach(pipeline)
+        pipeline.sim.schedule_at(self.at, self.maybe_fire)
 
     def applies(self, pkt, direction):
         return False

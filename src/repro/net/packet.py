@@ -89,7 +89,9 @@ def mss_for_mtu(mtu: int) -> int:
 
 FlowKey = Tuple[str, int, str, int]
 
-_packet_ids = itertools.count(1)
+# Debug-only labels: a pid never enters a datapath decision or a result,
+# so a restored run re-counting from 1 is harmless.
+_packet_ids = itertools.count(1)  # repro-lint: disable=RL006 (pid is a debug label, never state)
 
 
 @dataclass

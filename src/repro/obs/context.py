@@ -51,6 +51,118 @@ class PortObs:
                       admitted=admitted, marked=marked)
 
 
+class _EngineSource:
+    """Metric source reading one simulator's counters.
+
+    Sources are plain objects (not lambdas) so a registry that is part
+    of a live service survives checkpoint/restore pickling.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def __call__(self) -> dict:
+        s = self.sim
+        return {
+            "events_processed": s.events_processed,
+            "events_scheduled": s.events_scheduled,
+            "heap_compactions": s.heap_compactions,
+        }
+
+
+class _VswitchOpsSource:
+    __slots__ = ("vswitch",)
+
+    def __init__(self, vswitch):
+        self.vswitch = vswitch
+
+    def __call__(self) -> dict:
+        v = self.vswitch
+        return {
+            "packets_egress": v.ops.packets_egress,
+            "packets_ingress": v.ops.packets_ingress,
+            **v.ops.snapshot(),
+        }
+
+
+class _VswitchFlowTableSource:
+    __slots__ = ("vswitch",)
+
+    def __init__(self, vswitch):
+        self.vswitch = vswitch
+
+    def __call__(self) -> dict:
+        v = self.vswitch
+        return {
+            "entries": len(v.table.entries),
+            "restarts": v.restarts,
+            "resurrections": v.resurrections,
+        }
+
+
+class _VswitchPolicerSource:
+    __slots__ = ("vswitch",)
+
+    def __init__(self, vswitch):
+        self.vswitch = vswitch
+
+    def __call__(self) -> dict:
+        return {"drops": self.vswitch.policer.drops}
+
+
+class _VswitchConntrackSource:
+    __slots__ = ("vswitch",)
+
+    def __init__(self, vswitch):
+        self.vswitch = vswitch
+
+    def __call__(self) -> dict:
+        entries = self.vswitch.table.entries.values()
+        return {
+            "dupacks": sum(e.conntrack.dupacks for e in entries),
+            "timeouts_inferred": sum(e.conntrack.timeouts_inferred
+                                     for e in entries),
+        }
+
+
+class _SwitchSource:
+    __slots__ = ("switch",)
+
+    def __init__(self, switch):
+        self.switch = switch
+
+    def __call__(self) -> dict:
+        s = self.switch
+        return {
+            "rx_packets": s.rx_packets,
+            "no_route_drops": s.no_route_drops,
+            "tx_packets": s.total_tx_packets(),
+            "drops": s.total_drops(),
+            "marked_packets": s.marker.marked_packets,
+            "wred_drops": s.marker.dropped_packets,
+            "buffer_peak_used": s.shared.peak_used,
+        }
+
+
+class _PortSource:
+    __slots__ = ("port",)
+
+    def __init__(self, port):
+        self.port = port
+
+    def __call__(self) -> dict:
+        stats = self.port.stats
+        return {
+            "tx_packets": stats.tx_packets,
+            "tx_bytes": stats.tx_bytes,
+            "dropped_packets": stats.dropped_packets,
+            "dropped_bytes": stats.dropped_bytes,
+            "marked_packets": stats.marked_packets,
+        }
+
+
 class ObsContext:
     """Trace bus + metric registry for one run."""
 
@@ -75,11 +187,7 @@ class ObsContext:
         self._register_engine(sim)
 
     def _register_engine(self, sim) -> None:
-        self.registry.source("engine", lambda s=sim: {
-            "events_processed": s.events_processed,
-            "events_scheduled": s.events_scheduled,
-            "heap_compactions": s.heap_compactions,
-        })
+        self.registry.source("engine", _EngineSource(sim))
 
     # ------------------------------------------------------------------
     def register_vswitch(self, vswitch) -> None:
@@ -89,25 +197,13 @@ class ObsContext:
         self.vswitches.append(vswitch)
         addr = getattr(vswitch.host, "addr", f"vswitch{len(self.vswitches)}")
         prefix = f"vswitch.{addr}"
-        self.registry.source(f"{prefix}.ops", lambda v=vswitch: {
-            "packets_egress": v.ops.packets_egress,
-            "packets_ingress": v.ops.packets_ingress,
-            **v.ops.snapshot(),
-        })
-        self.registry.source(f"{prefix}.flow_table", lambda v=vswitch: {
-            "entries": len(v.table.entries),
-            "restarts": v.restarts,
-            "resurrections": v.resurrections,
-        })
-        self.registry.source(f"{prefix}.policer", lambda v=vswitch: {
-            "drops": v.policer.drops,
-        })
-        self.registry.source(f"{prefix}.conntrack", lambda v=vswitch: {
-            "dupacks": sum(e.conntrack.dupacks
-                           for e in v.table.entries.values()),
-            "timeouts_inferred": sum(e.conntrack.timeouts_inferred
-                                     for e in v.table.entries.values()),
-        })
+        self.registry.source(f"{prefix}.ops", _VswitchOpsSource(vswitch))
+        self.registry.source(f"{prefix}.flow_table",
+                             _VswitchFlowTableSource(vswitch))
+        self.registry.source(f"{prefix}.policer",
+                             _VswitchPolicerSource(vswitch))
+        self.registry.source(f"{prefix}.conntrack",
+                             _VswitchConntrackSource(vswitch))
 
     def register_switch(self, switch) -> None:
         """Instrument one switch: aggregate source + per-port occupancy
@@ -116,26 +212,12 @@ class ObsContext:
             return
         self.switches.append(switch)
         prefix = f"switch.{switch.name}"
-        self.registry.source(prefix, lambda s=switch: {
-            "rx_packets": s.rx_packets,
-            "no_route_drops": s.no_route_drops,
-            "tx_packets": s.total_tx_packets(),
-            "drops": s.total_drops(),
-            "marked_packets": s.marker.marked_packets,
-            "wred_drops": s.marker.dropped_packets,
-            "buffer_peak_used": s.shared.peak_used,
-        })
+        self.registry.source(prefix, _SwitchSource(switch))
         for port_id, port in switch.ports.items():
             name = f"{prefix}.p{port_id}"
             hist = self.registry.histogram(f"{name}.queue_bytes",
                                            QUEUE_BYTES_BOUNDS)
-            self.registry.source(name, lambda p=port: {
-                "tx_packets": p.stats.tx_packets,
-                "tx_bytes": p.stats.tx_bytes,
-                "dropped_packets": p.stats.dropped_packets,
-                "dropped_bytes": p.stats.dropped_bytes,
-                "marked_packets": p.stats.marked_packets,
-            })
+            self.registry.source(name, _PortSource(port))
             port.attach_obs(PortObs(self.bus, hist, name))
 
     def attach_topology(self, topology) -> None:

@@ -11,10 +11,16 @@ sanitizer dumps the ring to a JSONL file and attaches the path to the
 exception, turning "seed 1729 diverged" into a replayable decision log
 readable with ``python -m repro.obs timeline <dump>``.
 
-Dump file names carry the vSwitch name, the process id and a process-
-local serial number — never a wall-clock stamp (repro-lint RL003: the
-only clock in ``src/`` is ``sim.now``, and that goes *inside* the
-records).
+Dump file names carry the vSwitch name, the process id and a
+per-recorder serial number — never a wall-clock stamp (repro-lint
+RL003: the only clock in ``src/`` is ``sim.now``, and that goes
+*inside* the records).  Names alone cannot be trusted to be unique:
+two same-named vSwitches (two services in one process) can dump in the
+same pid/serial window, a SIGKILLed run can be resumed under a
+recycled pid, and a restored snapshot resets the recorder's serial.
+Dumps therefore open their file with ``O_EXCL`` and bump the serial
+until creation succeeds — a collision skips to a free name, never
+overwrites an earlier dump.
 """
 
 from __future__ import annotations
@@ -35,14 +41,6 @@ DEFAULT_CAPACITY = 256
 #: Directory for dumps; override with ``REPRO_OBS_DIR``.
 DEFAULT_DUMP_DIR = ".repro-obs"
 
-_dump_serial = 0
-
-
-def _next_serial() -> int:
-    global _dump_serial
-    _dump_serial += 1
-    return _dump_serial
-
 
 class FlightRecorder:
     """Ring buffer of (sim time, kind, flow, fields) decision records."""
@@ -55,6 +53,8 @@ class FlightRecorder:
         self.name = name
         self.capacity = capacity
         self.noted = 0  # decisions ever offered (ring keeps the tail)
+        self._serial = 0  # per-recorder dump counter (instance state, so
+        #                   it snapshots and restores with the vSwitch)
         self._ring: Deque[Tuple[float, str, object, dict]] = deque(
             maxlen=capacity)
 
@@ -90,6 +90,9 @@ class FlightRecorder:
         """Write the ring to a JSONL file; returns the path.
 
         ``dir_path`` defaults to ``$REPRO_OBS_DIR`` or ``.repro-obs``.
+        The file is created with ``O_EXCL``; a name collision (same-named
+        vSwitch, recycled pid, serial reset by a snapshot restore) bumps
+        the serial and retries rather than overwriting evidence.
         """
         if dir_path is None:
             dir_path = os.environ.get("REPRO_OBS_DIR") or DEFAULT_DUMP_DIR
@@ -98,9 +101,17 @@ class FlightRecorder:
         parts = ["flight", _safe(self.name)]
         if tag:
             parts.append(_safe(tag))
-        parts.append(f"{os.getpid()}-{_next_serial()}")
-        path = directory / ("-".join(parts) + ".jsonl")
-        with path.open("w", encoding="utf-8") as fh:
+        while True:
+            self._serial += 1
+            name = "-".join(parts + [f"{os.getpid()}-{self._serial}"])
+            path = directory / (name + ".jsonl")
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL,
+                             0o644)
+            except FileExistsError:
+                continue
+            break
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
             for record in self.records():
                 fh.write(json.dumps(record, sort_keys=True, default=str))
                 fh.write("\n")

@@ -67,6 +67,13 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     # Experiment runtime: a cache entry that failed to parse (treated as
     # a miss; the cell re-runs and overwrites it).
     "cache.corrupt": ("key",),
+    # Durability (repro.recovery).  These fire on the *supervisor's* bus,
+    # never the service's own: the service trace feeds the byte-identity
+    # signature, and a restored run must not carry extra events an
+    # uninterrupted run lacks.
+    "recovery.snapshot": ("epoch", "bytes"),
+    "recovery.restore": ("epoch",),
+    "recovery.wal_replay": ("replayed",),
 }
 
 #: Record keys the bus itself owns; event fields may not shadow them.

@@ -1,0 +1,44 @@
+"""Checkpoint/restore and crash recovery (DESIGN.md §13).
+
+A long-running service run must survive the death of the process
+executing it: a SIGKILLed pool worker, an OOM kill, a crashed host.
+This package makes a run *durable* without giving up the repo's
+byte-identity contract (DESIGN.md §10):
+
+* :mod:`repro.recovery.checkpoint` — integrity-checked, atomically
+  written snapshots of a live :class:`~repro.control.service.Service`
+  (the whole object graph: engine heap + clock + timers, named RNG
+  stream positions, vSwitch flow tables/conntrack/guard ladders,
+  switch buffers, open workload connections, trace-bus records);
+* :mod:`repro.recovery.wal` — a write-ahead log of control commands
+  submitted since the last snapshot, so live mutations replay exactly;
+* :mod:`repro.recovery.durable` — :class:`DurableService`, the
+  supervisor gluing both together: snapshot at every epoch boundary,
+  restore-and-replay on restart;
+* :mod:`repro.recovery.cell` — :func:`durable_service_cell`, the
+  process-pool cell that resumes from its own latest checkpoint when a
+  killed worker's cell is retried.
+
+The acceptance oracle is strict: a run that is checkpointed, killed
+and restored produces a **byte-identical** result — meters, telemetry,
+trace signature — to the same run executed uninterrupted.
+"""
+
+from .checkpoint import (CheckpointError, CheckpointInfo, latest_checkpoint,
+                         list_checkpoints, read_checkpoint, write_checkpoint)
+from .wal import WriteAheadLog
+from .durable import DurableService, RecoveryStats
+from .cell import durable_service_cell
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointInfo",
+    "DurableService",
+    "RecoveryStats",
+    "WriteAheadLog",
+    "durable_service_cell",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -29,6 +29,11 @@ class ResultCache:
         #: torn cache is visible, not silently absorbed as rerun time.
         self.corrupt = 0
         self.corrupt_keys: list = []
+        #: Write races lost to a concurrent writer of the same key (two
+        #: runtimes computing the same cell).  Benign by construction:
+        #: entries are content-addressed, so the winner wrote the same
+        #: spec and an equivalent result.
+        self.races = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -50,17 +55,33 @@ class ResultCache:
             return False, None
 
     def put(self, key: str, spec: Dict[str, Any], result: Any) -> None:
-        """Persist one completed run atomically."""
+        """Persist one completed run atomically.
+
+        The temp file is created with ``O_EXCL``, so two writers can
+        never interleave bytes; losing the creation race to a concurrent
+        runtime computing the same key is *benign* (content-addressed
+        entries are equivalent) and is counted in :attr:`races`, not
+        raised.
+        """
         path = self._path(key)
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        # Serialize first: a TypeError (non-JSON result — something a
+        # cache hit couldn't return) must not leave a temp file behind.
         payload = canonical_json({"spec": spec, "result": result})
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
         try:
-            tmp.write_text(payload, encoding="utf-8")
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            # A concurrent writer (same pid namespace, e.g. another
+            # thread, or a stale temp from a crashed twin) owns the temp:
+            # yield — the winner's entry answers future gets.
+            self.races += 1
+            return
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
-        except TypeError:
-            # Non-JSON result: never cache something a hit couldn't return.
-            tmp.unlink(missing_ok=True)
-            raise
         finally:
             if tmp.exists():  # pragma: no cover - crash-path tidy-up
                 tmp.unlink(missing_ok=True)

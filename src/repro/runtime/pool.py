@@ -60,6 +60,9 @@ class RuntimeStats:
     #: Guarded-mode accounting (``cell_timeout_s`` / ``quarantine``).
     retries_used: int = 0
     quarantined: int = 0
+    #: Pool workers that died hard (SIGKILL, OOM, ``os._exit``) — each is
+    #: one ``BrokenProcessPool`` observed and one pool rebuild.
+    worker_crashes: int = 0
     #: Corrupt cache entries encountered (mirrors ``ResultCache.corrupt``).
     cache_corrupt: int = 0
 
@@ -84,13 +87,24 @@ class Runtime:
     exception/quarantine half of the contract.  Error results are never
     cached.  Default (unguarded) behaviour is unchanged: any failure
     propagates immediately, as before.
+
+    Worker crashes (the worker process *dies* rather than raising —
+    SIGKILL, the OOM killer, ``os._exit``) have their own retry budget,
+    ``crash_retries`` (defaults to ``retries``): the pool is rebuilt,
+    the victim cell re-submitted, and ``stats.worker_crashes``
+    incremented.  A crash is charged separately from an exception
+    because re-running it is usually cheap: a *durable* cell
+    (:func:`repro.recovery.cell.durable_service_cell`) resumes from its
+    own latest checkpoint on the retry, so a killed worker costs one
+    epoch of progress, not the whole cell.
     """
 
     def __init__(self, jobs: Optional[int] = 1,
                  cache: Optional[object] = None,
                  cell_timeout_s: Optional[float] = None,
                  retries: int = 1,
-                 quarantine: bool = False) -> None:
+                 quarantine: bool = False,
+                 crash_retries: Optional[int] = None) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -99,6 +113,11 @@ class Runtime:
             raise ValueError("cell_timeout_s must be positive")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if crash_retries is None:
+            crash_retries = retries
+        if crash_retries < 0:
+            raise ValueError("crash_retries must be >= 0")
+        self.crash_retries = crash_retries
         self.jobs = jobs
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
@@ -203,6 +222,24 @@ class Runtime:
             results[i] = cell_error(spec.fn, kind, message, attempts[i])
             self.stats.quarantined += 1
 
+    def _charge_crash(self, crashes: Dict[int, int], i: int, spec: RunSpec,
+                      results: List[Any], pending: List[int]) -> None:
+        """Consume one *crash* attempt of cell ``i`` (its own budget).
+
+        Crashes are charged separately from exceptions/timeouts: a cell
+        whose worker was SIGKILLed is not poisoned, and if it is durable
+        the retry resumes from its checkpoint rather than re-running.
+        """
+        self.stats.worker_crashes += 1
+        crashes[i] += 1
+        if crashes[i] <= self.crash_retries:
+            self.stats.retries_used += 1
+            pending.append(i)
+        else:
+            results[i] = cell_error(spec.fn, "worker_crash",
+                                    "worker process died", crashes[i])
+            self.stats.quarantined += 1
+
     def _run_serial_guarded(self, specs: Sequence[RunSpec],
                             todo: Sequence[int],
                             results: List[Any]) -> None:
@@ -236,6 +273,7 @@ class Runtime:
         charges at least one attempt, so the loop always terminates.
         """
         attempts: Dict[int, int] = {i: 0 for i in todo}
+        crashes: Dict[int, int] = {i: 0 for i in todo}
         pending: List[int] = list(todo)
         while pending:
             wave = list(pending)
@@ -265,8 +303,7 @@ class Runtime:
                     broken = True
                     break
                 except BrokenProcessPool:
-                    self._charge(attempts, i, specs[i], "worker_crash",
-                                 "worker process died", results, pending)
+                    self._charge_crash(crashes, i, specs[i], results, pending)
                     for j, other in zip(wave[pos + 1:], futures[pos + 1:]):
                         self._harvest_or_requeue(specs, attempts, j, other,
                                                  results, pending,
@@ -330,6 +367,7 @@ class Runtime:
             "hit_ratio": (stats.cache_hits / seen) if seen else 0.0,
             "retries_used": stats.retries_used,
             "quarantined": stats.quarantined,
+            "worker_crashes": stats.worker_crashes,
             "cache_corrupt": stats.cache_corrupt,
         }
 

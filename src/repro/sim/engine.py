@@ -134,6 +134,24 @@ class Simulator:
         return self._seq
 
     # ------------------------------------------------------------------
+    # Checkpoint support (repro.recovery)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the calendar: clock, heap (with its exact (time, seq)
+        ordering), counters and the strict flag — everything a restored
+        run needs to replay identically.  The free-list is dropped: it
+        holds only dead recycled corpses, which are an allocation
+        optimisation, not simulation state.
+        """
+        if self._running:
+            raise SimulationError(
+                "cannot checkpoint a Simulator from inside run() — "
+                "snapshot at an epoch boundary instead")
+        state = self.__dict__.copy()
+        state["_free"] = []
+        return state
+
+    # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:

@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..metrics.collectors import FctRecorder, FlowRecord, RttRecorder
@@ -36,7 +37,9 @@ class Sink:
         host.listen(port, on_accept=self._accept, **conn_opts)
 
     def _accept(self, conn: TcpConnection) -> None:
-        conn.on_data = lambda n, c=conn: self._on_data(c, n)
+        # partial, not a lambda: connection callbacks are reachable from
+        # the engine heap, which checkpoint/restore pickles.
+        conn.on_data = partial(self._on_data, conn)
 
     def _on_data(self, conn: TcpConnection, nbytes: int) -> None:
         self.bytes_received += nbytes
@@ -65,7 +68,7 @@ class EchoSink:
 
     def _accept(self, conn: TcpConnection) -> None:
         self._pending[conn.key()] = 0
-        conn.on_data = lambda n, c=conn: self._on_data(c, n)
+        conn.on_data = partial(self._on_data, conn)
 
     def _on_data(self, conn: TcpConnection, nbytes: int) -> None:
         acc = self._pending[conn.key()] + nbytes

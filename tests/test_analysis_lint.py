@@ -89,9 +89,11 @@ class TestRL002:
         vs = lint("import random\nrng = random.Random()\n")
         assert codes(vs) == ["RL002"]
 
-    def test_seeded_random_is_safe(self):
+    def test_seeded_random_is_not_rl002(self):
+        # Seeded construction is deterministic (no RL002) — but it still
+        # bypasses the stream registry, which is RL006's domain.
         vs = lint("import random\nrng = random.Random(42)\n")
-        assert vs == []
+        assert codes(vs) == ["RL006"]
 
     def test_system_random_fires(self):
         vs = lint("import random\nrng = random.SystemRandom()\n")
@@ -194,6 +196,72 @@ class TestRL005:
 
 
 # ---------------------------------------------------------------------------
+# RL006: non-snapshot-safe state
+# ---------------------------------------------------------------------------
+class TestRL006:
+    @pytest.mark.parametrize("value", ["{}", "[]", "set()", "dict()",
+                                       "deque()", "itertools.count(1)"])
+    def test_module_level_registry_fires(self, value):
+        vs = lint(f"_registry = {value}\n")
+        assert codes(vs) == ["RL006"]
+
+    def test_annotated_registry_fires(self):
+        vs = lint("_seen: dict = {}\n")
+        assert codes(vs) == ["RL006"]
+
+    def test_all_caps_constant_is_safe(self):
+        # Configuration-by-convention: read-only module constants.
+        vs = lint("EVENT_SCHEMAS = {'a': 1}\n")
+        assert vs == []
+
+    def test_dunder_is_safe(self):
+        vs = lint("__all__ = ['x']\n")
+        assert vs == []
+
+    def test_class_and_function_scope_are_safe(self):
+        # Instance/class containers are reachable from the object graph a
+        # snapshot pickles; only module scope escapes it.
+        vs = lint("class C:\n"
+                  "    registry = {}\n"
+                  "    def f(self):\n"
+                  "        local = {}\n"
+                  "        return local\n")
+        assert vs == []
+
+    def test_global_statement_fires(self):
+        vs = lint("_serial = 0\n"
+                  "def bump():\n"
+                  "    global _serial\n"
+                  "    _serial += 1\n")
+        assert codes(vs) == ["RL006"]
+
+    def test_seeded_random_construction_fires(self):
+        vs = lint("import random\nrng = random.Random(seed)\n")
+        assert codes(vs) == ["RL006"]
+
+    def test_from_import_random_construction_fires(self):
+        vs = lint("from random import Random\nrng = Random(7)\n")
+        assert codes(vs) == ["RL006"]
+
+    def test_from_import_unseeded_is_rl002(self):
+        vs = lint("from random import Random\nrng = Random()\n")
+        assert codes(vs) == ["RL002"]
+
+    def test_rng_registry_is_structurally_exempt(self):
+        bad = ("import random\n"
+               "rng = random.Random(42)\n"
+               "_streams = {}\n")
+        assert codes(lint(bad, path="src/repro/sim/rng.py")) == []
+        assert codes(lint(bad, path="src/repro/sim/other.py")) == [
+            "RL006", "RL006"]
+
+    def test_suppression_with_reason(self):
+        vs = lint("_ids = itertools.count(1)"
+                  "  # repro-lint: disable=RL006 (debug label, never state)\n")
+        assert vs == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 class TestSuppression:
@@ -270,7 +338,8 @@ def test_report_empty():
 
 def test_rule_catalog_covers_all_emitted_codes():
     assert set(RULE_CATALOG) == {
-        "RL000", "RL001", "RL002", "RL003", "RL004", "RL005", "RL999"}
+        "RL000", "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL999"}
 
 
 class TestCli:

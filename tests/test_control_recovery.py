@@ -1,0 +1,136 @@
+"""Canary/recovery interplay: rollout state must survive snapshot/restore.
+
+A checkpoint lands *mid-rollout* whenever a service is snapshotted while
+a canary is in flight.  The rollout's bookkeeping — the consecutive
+healthy streak (reset by ungradeable epochs), the timeout counter, the
+recorded prior policies, the last-known-good config — is exactly the
+state a naive recovery design would lose; these tests pin each piece
+through a pickle round-trip and through the full
+:class:`~repro.recovery.DurableService` restore path.
+"""
+
+import pickle
+
+from repro.control import Service, ServiceConfig
+from repro.control.canary import CanaryRollout, TenantPolicy
+from repro.experiments import canary as canary_experiment
+from repro.recovery import DurableService
+from repro.runtime.spec import canonical_json
+
+
+def canon(result) -> str:
+    return canonical_json(result)
+
+
+# ---------------------------------------------------------------------------
+# State machine through a snapshot (pure unit)
+# ---------------------------------------------------------------------------
+
+def test_ungradeable_streak_state_survives_pickle():
+    rollout = CanaryRollout(candidate=TenantPolicy(max_rwnd=1460),
+                            cohort=["h1"], prior={"h1": TenantPolicy()},
+                            started_epoch=2, promote_after=2,
+                            timeout_epochs=4)
+    rollout.tick(2, [], gradeable=True)    # streak = 1
+    rollout.tick(3, [], gradeable=False)   # ungradeable: streak resets
+
+    clone = pickle.loads(pickle.dumps(rollout))
+    assert clone.healthy_epochs == 0
+    assert clone.graded_epochs == 1
+    assert clone.active
+
+    # Both copies must walk the identical path from here: one more
+    # gradeable epoch is NOT enough (the streak restarted), and the
+    # timeout then fires on the 4th canary epoch.
+    for r in (rollout, clone):
+        assert r.tick(4, [], gradeable=True) == "hold"
+        assert r.tick(5, [], gradeable=False) == "rollback"
+        assert r.reason == "timeout"
+    assert rollout.to_json() == clone.to_json()
+
+
+def test_rolled_back_state_survives_pickle():
+    rollout = CanaryRollout(candidate=TenantPolicy(max_rwnd=1460),
+                            cohort=["h1"], prior={"h1": TenantPolicy()},
+                            started_epoch=2)
+    deltas = [{"slo": "p99_fct", "canary": 9.0, "baseline": 1.0,
+               "limit": 2.0}]
+    rollout.tick(2, deltas, gradeable=True)
+    clone = pickle.loads(pickle.dumps(rollout))
+    assert clone.state == "rolled_back"
+    assert clone.reason == "slo_violation"
+    assert clone.violations == deltas
+    assert clone.prior["h1"].to_json() == TenantPolicy().to_json()
+
+
+# ---------------------------------------------------------------------------
+# Full service: snapshot mid-rollout, restore, identical verdicts
+# ---------------------------------------------------------------------------
+
+STARVED = dict(n_hosts=4, epoch_s=0.01, arrival_rate_hz=100.0, peers=1,
+               msg_sizes=[16_384], msg_weights=[1], seed=7)
+STARVED_SCHEDULE = [{"epoch": 0, "op": "canary_start",
+                     "policy": {"beta": 0.9}, "hosts": ["h4"],
+                     "timeout_epochs": 3}]
+
+
+def test_ungradeable_canary_times_out_identically_after_restore(tmp_path):
+    # Every epoch is ungradeable (arrival starvation), so the rollout is
+    # pure streak/timeout bookkeeping — the state most at risk.
+    baseline = Service(ServiceConfig(**STARVED),
+                       schedule=STARVED_SCHEDULE).run(6)
+    assert baseline["canary"]["reason"] == "timeout"
+
+    victim = DurableService(config=STARVED, schedule=STARVED_SCHEDULE,
+                            root=tmp_path)
+    victim.advance()  # snapshot at epoch 1: rollout mid-flight
+    victim.close()
+
+    resumed = DurableService(root=tmp_path)
+    rollout = resumed.service.control.rollout
+    assert rollout is not None and rollout.active
+    result = resumed.run(6)
+    resumed.close()
+    assert canon(result) == canon(baseline)
+    assert result["canary"]["state"] == "rolled_back"
+    assert result["canary"]["ended_epoch"] == 2
+
+
+def test_slo_rollback_fires_identically_after_restore(tmp_path):
+    config = dict(n_hosts=6, epoch_s=0.02, seed=1)
+    schedule = [{"epoch": 1, "op": "canary_start",
+                 "policy": {"max_rwnd": canary_experiment.BAD_MAX_RWND},
+                 "fraction": 0.25}]
+    baseline = Service(ServiceConfig(**config), schedule=schedule).run(5)
+    assert baseline["canary"]["state"] == "rolled_back"
+
+    victim = DurableService(config=config, schedule=schedule, root=tmp_path)
+    victim.advance()
+    victim.advance()  # snapshot at epoch 2: canary staged, verdict pending
+    victim.close()
+
+    resumed = DurableService(root=tmp_path)
+    result = resumed.run(5)
+    resumed.close()
+    assert canon(result) == canon(baseline)
+    assert result["canary"]["reason"] == "slo_violation"
+
+
+def test_last_known_good_survives_restore(tmp_path):
+    # Promotion updates last-known-good; a restore must carry it so the
+    # kill switch keeps restoring the *blessed* config, not the ancient
+    # prior.
+    config = dict(n_hosts=4, epoch_s=0.02, arrival_rate_hz=400.0,
+                  peers=2, seed=7)
+    schedule = [{"epoch": 0, "op": "canary_start", "policy": {"beta": 0.8},
+                 "hosts": ["h2"], "promote_after": 2}]
+    supervisor = DurableService(config=config, schedule=schedule,
+                                root=tmp_path)
+    result = supervisor.run(4)
+    assert result["canary"]["state"] == "promoted"
+    supervisor.close()
+
+    resumed = DurableService(root=tmp_path)
+    lkg = resumed.service.control.last_known_good
+    resumed.close()
+    assert lkg["policies"]["h1"]["beta"] == 0.8

@@ -69,3 +69,40 @@ def test_dump_serials_never_collide(tmp_path):
     rec = FlightRecorder(FakeSim(), name="h3")
     rec.note("flow.state", FLOW, state="x")
     assert rec.dump(dir_path=tmp_path) != rec.dump(dir_path=tmp_path)
+
+
+def test_same_named_recorders_never_overwrite_each_other(tmp_path):
+    """Regression: two same-named vSwitches (e.g. two services in one
+    process) dumping in the same pid/serial window used to race one
+    global serial; with per-recorder serials they would collide outright
+    if dump() did not O_EXCL-and-retry to a free name."""
+    sim = FakeSim()
+    first = FlightRecorder(sim, name="h1")
+    second = FlightRecorder(sim, name="h1")
+    first.note("flow.state", FLOW, state="a")
+    second.note("flow.state", FLOW, state="b")
+    path_a = first.dump(dir_path=tmp_path)
+    path_b = second.dump(dir_path=tmp_path)
+    assert path_a != path_b
+    (rec_a,) = read_jsonl(path_a)
+    (rec_b,) = read_jsonl(path_b)
+    assert rec_a["state"] == "a" and rec_b["state"] == "b"
+
+
+def test_restored_recorder_serial_reset_cannot_overwrite(tmp_path):
+    """Regression: a snapshot-restored vSwitch carries its recorder's
+    serial from checkpoint time; earlier incarnations' later dumps must
+    survive the replayed serials."""
+    import pickle
+
+    rec = FlightRecorder(FakeSim(), name="h2")
+    rec.note("flow.state", FLOW, state="pre")
+    frozen = pickle.dumps(rec)           # checkpoint before any dump
+    first = rec.dump(dir_path=tmp_path)  # original incarnation dumps
+
+    restored = pickle.loads(frozen)      # serial rewinds to 0 inside
+    restored.note("flow.state", FLOW, state="post")
+    second = restored.dump(dir_path=tmp_path)
+    assert second != first
+    (kept,) = read_jsonl(first)
+    assert kept["state"] == "pre"  # the original dump was not clobbered

@@ -132,7 +132,7 @@ def test_every_schema_type_is_emittable():
               "direction": "egress", "reason": "r", "kind": "k",
               "cause": "c", "queue_bytes": 0, "invariant": "i",
               "path": "/tmp/x", "op": "set_policy", "status": "applied",
-              "key": "0" * 64}
+              "key": "0" * 64, "epoch": 1, "bytes": 0, "replayed": 0}
     for type_, required in EVENT_SCHEMAS.items():
         assert bus.emit(type_, **{f: filler[f] for f in required})
     assert len(bus) == len(EVENT_SCHEMAS)

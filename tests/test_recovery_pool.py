@@ -1,0 +1,104 @@
+"""Worker-crash resilience: a SIGKILLed pool worker costs one epoch.
+
+The guarded runtime detects a dead worker (``BrokenProcessPool``),
+rebuilds the pool and re-submits the victim cell; a *durable* cell
+(:func:`repro.recovery.cell.durable_service_cell`) then resumes from its
+own latest checkpoint.  The final merged results must be byte-identical
+to a run nobody killed.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.runtime import Runtime, RunSpec, is_cell_error
+from repro.runtime.spec import canonical_json
+
+CELL = "repro.recovery.cell:durable_service_cell"
+
+CONFIG = dict(n_hosts=4, epoch_s=0.01, arrival_rate_hz=400.0,
+              msg_sizes=[16_384, 65_536], msg_weights=[3, 1],
+              peers=2, seed=5)
+SCHEDULE = [{"epoch": 1, "op": "set_policy", "hosts": ["h1"],
+             "policy": {"max_rwnd": 2920}}]
+
+
+# Module-level workers: run specs reference them as f"{__name__}:name".
+def kill_self(x):
+    """A worker that dies hard, unconditionally (crash-budget tests)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def double(x):
+    return x * 2
+
+
+KILL_SELF = f"{__name__}:kill_self"
+DOUBLE = f"{__name__}:double"
+
+
+def map_with_padding(rt, spec):
+    """Run ``spec`` plus a benign neighbour so the runtime takes the pool
+    path — a single-cell batch executes serially, in *this* process, and
+    a kill cell would take pytest down with it."""
+    results = rt.map([spec, RunSpec(DOUBLE, {"x": 4})])
+    assert results[1] == 8
+    return results[0]
+
+
+def cell_kwargs(seed, **extra):
+    return dict(config={**CONFIG, "seed": seed}, schedule=SCHEDULE,
+                epochs=3, **extra)
+
+
+def test_killed_worker_cell_resumes_and_matches_baseline(tmp_path):
+    baseline = Runtime(jobs=2).map([
+        RunSpec(CELL, cell_kwargs(5)),
+        RunSpec(CELL, cell_kwargs(6)),
+    ])
+
+    rt = Runtime(jobs=2, quarantine=True)
+    results = rt.map([
+        RunSpec(CELL, cell_kwargs(5, recovery_dir=str(tmp_path),
+                                  kill={"at": 0.017})),
+        RunSpec(CELL, cell_kwargs(6, recovery_dir=str(tmp_path))),
+    ])
+    assert rt.stats.worker_crashes == 1
+    assert rt.stats.retries_used >= 1
+    assert rt.stats.quarantined == 0
+    assert not any(is_cell_error(r) for r in results)
+    assert [canonical_json(r) for r in results] == \
+        [canonical_json(r) for r in baseline]
+
+
+def test_crash_budget_exhaustion_quarantines(tmp_path):
+    rt = Runtime(jobs=2, quarantine=True, crash_retries=1)
+    result = map_with_padding(rt, RunSpec(KILL_SELF, {"x": 1}))
+    assert is_cell_error(result)
+    assert result["cell_error"]["kind"] == "worker_crash"
+    assert result["cell_error"]["attempts"] == 2  # initial + 1 crash retry
+    assert rt.stats.worker_crashes == 2
+    assert rt.stats.quarantined == 1
+
+
+def test_crash_retries_zero_fails_fast():
+    rt = Runtime(jobs=2, quarantine=True, crash_retries=0)
+    result = map_with_padding(rt, RunSpec(KILL_SELF, {"x": 1}))
+    assert is_cell_error(result)
+    assert rt.stats.worker_crashes == 1
+    assert rt.stats.retries_used == 0
+
+
+def test_crash_retries_validated():
+    with pytest.raises(ValueError):
+        Runtime(crash_retries=-1)
+    # Defaults to the exception retry budget.
+    assert Runtime(retries=3).crash_retries == 3
+    assert Runtime(retries=1, crash_retries=5).crash_retries == 5
+
+
+def test_worker_crashes_surface_in_telemetry():
+    rt = Runtime(jobs=2, quarantine=True, crash_retries=0)
+    map_with_padding(rt, RunSpec(KILL_SELF, {"x": 1}))
+    assert rt.telemetry()["worker_crashes"] == 1

@@ -110,6 +110,24 @@ def test_cache_refuses_non_json_results(tmp_path):
     assert len(cache) == 0  # no torn entry left behind
 
 
+def test_cache_lost_write_race_is_benign(tmp_path):
+    import os
+
+    cache = ResultCache(tmp_path)
+    spec = RunSpec(DOUBLE, {"x": 3})
+    # A concurrent twin holds the O_EXCL temp file for this key.
+    tmp = tmp_path / f"{spec.key()}.json.tmp.{os.getpid()}"
+    tmp.write_text('{"spec": {}, "result": {"x": 3, "twice": 6}}',
+                   encoding="utf-8")
+    cache.put(spec.key(), spec.describe(), {"x": 3, "twice": 6})  # no raise
+    assert cache.races == 1
+    # Entries are content-addressed: once the winner lands, a hit returns
+    # the equivalent result.
+    os.replace(tmp, tmp_path / f"{spec.key()}.json")
+    hit, value = cache.get(spec.key())
+    assert hit and value == {"x": 3, "twice": 6}
+
+
 # ---------------------------------------------------------------------------
 # Runtime: ordering, caching, parallel/serial equivalence
 # ---------------------------------------------------------------------------
