@@ -11,6 +11,13 @@ RNG or wall-clock use.  This package catches them mechanically:
   pass over the source tree with repro-specific rules (RL001–RL005), an
   inline suppression syntax that requires a written reason, and a CLI
   driver: ``python -m repro.analysis lint src/``.
+* **whole-program analyzer** (:mod:`repro.analysis.project` +
+  :mod:`repro.analysis.checkers`) — parses the package once into a
+  project model (symbol tables, import graph, conservative call graph)
+  and runs cross-file checkers RL101–RL104 (determinism taint,
+  trace-contract, unguarded hooks, snapshot reachability) with
+  content-hash incremental caching and a committed-baseline mechanism:
+  ``python -m repro.analysis analyze src/``.
 * **runtime sanitizer** (:mod:`repro.analysis.sanitize`) — opt-in
   invariant probes wrapped around the vSwitch datapath, the simulation
   engine and the switch buffer accounting.  Enabled via
@@ -20,7 +27,14 @@ RNG or wall-clock use.  This package catches them mechanically:
   is replayable.
 """
 
+from .checkers import (
+    CHECKER_CATALOG,
+    AnalyzeConfig,
+    analyze_paths,
+    analyze_project,
+)
 from .lint import LintConfig, lint_file, lint_paths, lint_source
+from .project import Project, build_project
 from .report import format_report
 from .rules import RULE_CATALOG, Violation
 from .sanitize import (
@@ -33,11 +47,17 @@ from .sanitize import (
 )
 
 __all__ = [
+    "AnalyzeConfig",
+    "CHECKER_CATALOG",
     "DatapathSanitizer",
     "InvariantViolation",
     "LintConfig",
+    "Project",
     "RULE_CATALOG",
     "Violation",
+    "analyze_paths",
+    "analyze_project",
+    "build_project",
     "enable",
     "format_report",
     "is_enabled",

@@ -1,0 +1,84 @@
+"""Committed-baseline mechanism for the whole-program analyzer.
+
+A baseline is a committed JSON file mapping finding *fingerprints* to
+counts.  ``analyze --baseline FILE`` subtracts baselined findings from
+the report, so legacy findings are tracked without failing CI while any
+**new** finding still does.  The fingerprint deliberately omits line and
+column — ``path:code:message`` — so unrelated edits that shift a
+grandfathered finding a few lines do not resurrect it; counts bound how
+many identical findings a file may carry.
+
+The repo's own baseline (``.repro-analysis-baseline.json``) is committed
+**empty**: every real finding the checkers surfaced was fixed in-tree,
+and the empty file is the standing assertion that it stays that way.
+
+``python -m repro.analysis baseline --write`` regenerates the file from
+the current findings (for consumers adopting the analyzer on a tree
+with pre-existing findings).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from .report import _display_path
+from .rules import Violation
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = ".repro-analysis-baseline.json"
+
+
+def fingerprint(v: Violation, base: str = ".") -> str:
+    return f"{_display_path(v.path, base)}:{v.code}:{v.message}"
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Fingerprint -> allowed count.  Missing file = empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    if not isinstance(data, dict) \
+            or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a repro-analysis baseline "
+                         f"(expected version {BASELINE_VERSION})")
+    findings = data.get("findings", {})
+    return {fp: int(count) for fp, count in findings.items()}
+
+
+def apply_baseline(violations: Sequence[Violation],
+                   baseline: Dict[str, int],
+                   base: str = ".") -> Tuple[List[Violation], int]:
+    """(non-baselined findings, how many the baseline absorbed).
+
+    Each fingerprint absorbs at most its recorded count, in report
+    order, so a file growing an *additional* identical finding still
+    fails.
+    """
+    budget = dict(baseline)
+    kept: List[Violation] = []
+    absorbed = 0
+    for v in sorted(violations):
+        fp = fingerprint(v, base)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            absorbed += 1
+        else:
+            kept.append(v)
+    return kept, absorbed
+
+
+def write_baseline(violations: Sequence[Violation], path: str,
+                   base: str = ".") -> int:
+    """Write a baseline covering ``violations``; returns the count."""
+    counts: Dict[str, int] = {}
+    for v in sorted(violations):
+        fp = fingerprint(v, base)
+        counts[fp] = counts.get(fp, 0) + 1
+    payload = {"version": BASELINE_VERSION, "findings": counts}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(violations)

@@ -24,17 +24,11 @@ from __future__ import annotations
 
 import ast
 import os
-import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from .rules import RULE_CATALOG, RuleVisitor, Violation
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
-    r"(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)"
-    r"(?:\s*\((?P<reason>[^)]*)\))?"
-)
+from .suppress import parse_suppressions
 
 
 @dataclass(frozen=True)
@@ -63,49 +57,6 @@ class LintConfig:
         return codes
 
 
-@dataclass
-class _Suppressions:
-    file_level: Set[str] = field(default_factory=set)
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-    #: Lines holding *only* a suppression comment: a disable there also
-    #: covers the following line (for statements too long to annotate).
-    standalone: Set[int] = field(default_factory=set)
-    malformed: List[Violation] = field(default_factory=list)
-
-
-def _parse_suppressions(source: str, path: str) -> _Suppressions:
-    sup = _Suppressions()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        m = _SUPPRESS_RE.search(text)
-        if m is None:
-            continue
-        codes = {c.strip() for c in m.group("codes").split(",")}
-        reason = (m.group("reason") or "").strip()
-        if not reason:
-            sup.malformed.append(Violation(
-                path=path, line=lineno, col=max(text.find("#"), 0),
-                code="RL000",
-                message="suppression is missing its (reason); the disable "
-                        "is ignored"))
-            continue
-        if m.group("scope"):
-            sup.file_level |= codes
-        else:
-            sup.by_line.setdefault(lineno, set()).update(codes)
-            if text.lstrip().startswith("#"):
-                sup.standalone.add(lineno)
-    return sup
-
-
-def _is_suppressed(v: Violation, sup: _Suppressions) -> bool:
-    if v.code in sup.file_level:
-        return True
-    if v.code in sup.by_line.get(v.line, ()):
-        return True
-    prev = v.line - 1
-    return prev in sup.standalone and v.code in sup.by_line.get(prev, ())
-
-
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
@@ -120,8 +71,8 @@ def lint_source(source: str, path: str = "<string>",
                           message=f"parse error: {exc.msg}")]
     visitor = RuleVisitor(path, enabled=config.enabled_for(path))
     visitor.visit(tree)
-    sup = _parse_suppressions(source, path)
-    kept = [v for v in visitor.violations if not _is_suppressed(v, sup)]
+    sup = parse_suppressions(source, path)
+    kept = sup.apply(visitor.violations)
     kept.extend(sup.malformed)
     return sorted(kept)
 

@@ -1,17 +1,23 @@
-"""Stable report formatting for `repro-lint`.
+"""Stable report formatting shared by ``lint`` and ``analyze``.
 
-CI diffs the linter's output between runs, so the format is strictly
+CI diffs the output between runs, so every format is strictly
 deterministic: findings sorted by (path, line, column, code), paths
 normalised to forward slashes and made relative to the invocation
-directory when possible, one finding per line, and a fixed summary line.
+directory when possible.  Three renderers:
+
+* :func:`format_report` — the canonical one-finding-per-line text
+  report with a fixed summary line;
+* :func:`format_json` — a plain list of finding objects, for scripting;
+* :func:`format_sarif` — SARIF 2.1.0, for code-scanning upload.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
-from .rules import Violation
+from .rules import RULE_CATALOG, Violation
 
 
 def _display_path(path: str, base: str) -> str:
@@ -24,16 +30,66 @@ def _display_path(path: str, base: str) -> str:
     return rel.replace(os.sep, "/")
 
 
-def format_report(violations: Sequence[Violation],
-                  base: str = ".") -> str:
-    """Render findings as the canonical file:line-sorted report."""
-    rendered: List[str] = []
-    display = sorted(
+def _displayed(violations: Sequence[Violation],
+               base: str) -> List[Violation]:
+    return sorted(
         Violation(path=_display_path(v.path, base), line=v.line,
                   col=v.col, code=v.code, message=v.message)
         for v in violations
     )
-    rendered.extend(v.render() for v in display)
+
+
+def format_report(violations: Sequence[Violation], base: str = ".",
+                  tool: str = "repro-lint") -> str:
+    """Render findings as the canonical file:line-sorted text report."""
+    display = _displayed(violations, base)
+    rendered = [v.render() for v in display]
     n = len(display)
-    rendered.append(f"repro-lint: {n} violation{'s' if n != 1 else ''}")
+    rendered.append(f"{tool}: {n} violation{'s' if n != 1 else ''}")
     return "\n".join(rendered)
+
+
+def format_json(violations: Sequence[Violation], base: str = ".") -> str:
+    """Findings as a JSON array (one object per finding)."""
+    rows = [{"path": v.path, "line": v.line, "col": v.col,
+             "code": v.code, "message": v.message}
+            for v in _displayed(violations, base)]
+    return json.dumps(rows, indent=2, sort_keys=True)
+
+
+def format_sarif(violations: Sequence[Violation], base: str = ".",
+                 tool: str = "repro-analysis",
+                 rules: Dict[str, str] = None) -> str:
+    """Findings as a SARIF 2.1.0 log (GitHub code-scanning format)."""
+    catalog = dict(RULE_CATALOG)
+    if rules:
+        catalog.update(rules)
+    display = _displayed(violations, base)
+    used = sorted({v.code for v in display})
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool,
+                "informationUri":
+                    "https://example.invalid/repro-analysis",
+                "rules": [{"id": code,
+                           "shortDescription":
+                               {"text": catalog.get(code, code)}}
+                          for code in used],
+            }},
+            "results": [{
+                "ruleId": v.code,
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": v.path},
+                    "region": {"startLine": v.line,
+                               "startColumn": v.col + 1},
+                }}],
+            } for v in display],
+        }],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)

@@ -152,6 +152,19 @@ class DatapathSanitizer:
                 dump_path = flight.dump(tag=invariant)
             except OSError:
                 dump_path = None  # diagnostics must never mask the failure
+        # When tracing is on, the violation (and any flight dump) also
+        # lands on the bus, so a traced run's export shows *why* it died
+        # next to the datapath events that led up to it.
+        trace = getattr(self._vswitch, "trace", None)
+        if trace is not None:
+            from ..obs.trace import ERROR
+            trace.emit("sanitizer.violation", flow=flow,
+                       component="sanitize", severity=ERROR,
+                       invariant=invariant, detail=detail)
+            if dump_path is not None:
+                trace.emit("flight.dump", flow=flow, component="sanitize",
+                           severity=ERROR, path=str(dump_path),
+                           invariant=invariant)
         raise InvariantViolation(invariant, detail, flow=flow,
                                  sim_time=self.sim.now, host=self.host,
                                  flight_dump=dump_path)

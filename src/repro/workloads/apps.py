@@ -233,6 +233,28 @@ class PingPong:
                 self.sim.schedule(self.interval, self._send_request)
 
 
+class _SequentialChain:
+    """Completion handler driving back-to-back sends (picklable).
+
+    :meth:`MessageStream.send_sequential` installs one of these instead
+    of a closure so a stream captured by a service checkpoint still
+    pickles; it chains to whatever handler the user had installed.
+    """
+
+    def __init__(self, stream: "MessageStream",
+                 user_cb: Optional[Callable[["FlowRecord"], None]],
+                 remaining: List[int]):
+        self.stream = stream
+        self.user_cb = user_cb
+        self.remaining = remaining
+
+    def __call__(self, record: "FlowRecord") -> None:
+        if self.user_cb is not None:
+            self.user_cb(record)
+        if self.remaining:
+            self.stream.send_message(self.remaining.pop(0))
+
+
 class MessageStream:
     """Framed messages over one persistent connection, FCT per message.
 
@@ -316,18 +338,13 @@ class MessageStream:
         """Send ``sizes`` back-to-back: next begins when previous lands.
 
         Installs this stream's completion handler (chaining any existing
-        one), so a stream should be either sequential or free-form.
+        one), so a stream should be either sequential or free-form.  The
+        handler is a module-level class, not a closure, so streams stay
+        picklable when a service checkpoint reaches them.
         """
         remaining = list(sizes)
-        user_cb = self.on_message_complete
-
-        def on_complete(record: FlowRecord) -> None:
-            if user_cb is not None:
-                user_cb(record)
-            if remaining:
-                self.send_message(remaining.pop(0))
-
-        self.on_message_complete = on_complete
+        self.on_message_complete = _SequentialChain(
+            self, self.on_message_complete, remaining)
         if remaining:
             self.send_message(remaining.pop(0))
 

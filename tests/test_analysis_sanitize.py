@@ -424,3 +424,66 @@ def test_retreating_conntrack_caught_end_to_end(two_hosts, monkeypatch):
     with pytest.raises(InvariantViolation) as exc:
         sim.run(until=0.2)
     assert exc.value.invariant == "snd-una-monotonic"
+
+
+# ---------------------------------------------------------------------------
+# Violations land on the trace bus (schema and emit site locked together)
+# ---------------------------------------------------------------------------
+class _FakeFlight:
+    """Flight-recorder stand-in: non-empty ring, deterministic dump path."""
+
+    def __len__(self):
+        return 3
+
+    def dump(self, tag):
+        return f"/tmp/flight-{tag}.jsonl"
+
+
+class TestViolationTraceEvents:
+    """`_fail` must emit `sanitizer.violation` (and `flight.dump` when a
+    ring was dumped) on the vSwitch's trace bus before raising.
+
+    The bus validates every emit against ``EVENT_SCHEMAS`` (validation
+    is on by default), so this test locks the emit sites and the schema
+    registrations together: drift in either direction raises here.
+    """
+
+    def _san(self, with_flight=False):
+        from repro.obs.trace import TraceBus
+
+        sim = Simulator()
+        bus = TraceBus(sim)
+        vswitch = SimpleNamespace(sim=sim,
+                                  host=SimpleNamespace(addr="10.0.0.1"),
+                                  trace=bus)
+        if with_flight:
+            vswitch.flight = _FakeFlight()
+        return DatapathSanitizer(vswitch), bus
+
+    def test_fail_emits_schema_valid_violation_event(self):
+        san, bus = self._san()
+        with pytest.raises(InvariantViolation):
+            san._fail("snd-una-monotonic", "went backwards", flow=KEY)
+        events = [e for e in bus.events if e.type == "sanitizer.violation"]
+        assert len(events) == 1
+        assert events[0].fields["invariant"] == "snd-una-monotonic"
+        assert events[0].flow == KEY
+        assert not [e for e in bus.events if e.type == "flight.dump"]
+
+    def test_fail_emits_flight_dump_event_when_ring_dumped(self):
+        san, bus = self._san(with_flight=True)
+        with pytest.raises(InvariantViolation) as exc:
+            san._fail("rwnd-roundtrip", "bad encode", flow=KEY)
+        dumps = [e for e in bus.events if e.type == "flight.dump"]
+        assert len(dumps) == 1
+        assert dumps[0].fields["path"] == exc.value.flight_dump
+        assert dumps[0].fields["invariant"] == "rwnd-roundtrip"
+
+    def test_fail_without_trace_hook_stays_silent(self):
+        # The zero-cost-off contract: no bus, no emission, same raise.
+        sim = Simulator()
+        vswitch = SimpleNamespace(sim=sim,
+                                  host=SimpleNamespace(addr="10.0.0.1"))
+        san = DatapathSanitizer(vswitch)
+        with pytest.raises(InvariantViolation):
+            san._fail("snd-una-monotonic", "went backwards", flow=KEY)

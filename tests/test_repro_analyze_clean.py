@@ -1,0 +1,30 @@
+"""The source tree itself must be analyzer clean.
+
+Tier-1 twin of the CI step ``python -m repro.analysis analyze src/``:
+any new cross-file determinism leak, trace-schema drift, unguarded
+zero-cost-off hook or unpicklable callable in checkpointed state landing
+in ``src/repro`` fails here with the full file:line report.  The
+committed baseline is *empty* — every finding the checkers surface must
+be fixed (or suppressed with a written reason), never grandfathered.
+"""
+
+import json
+import os
+
+from repro.analysis import analyze_paths, format_report
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src", "repro")
+
+
+def test_source_tree_is_analyzer_clean():
+    violations, stats = analyze_paths([SRC])
+    assert violations == [], "\n" + format_report(
+        violations, tool="repro-analysis")
+    assert stats.modules > 50  # the walk actually covered the tree
+
+
+def test_committed_baseline_is_empty():
+    with open(os.path.join(REPO, ".repro-analysis-baseline.json")) as fh:
+        baseline = json.load(fh)
+    assert baseline["findings"] == {}
