@@ -49,6 +49,7 @@ from . import (
     fig22_shuffle,
     fig23_trace_driven,
     gameday,
+    hybrid,
     parking_lot_results,
     table1_cc_variants,
 )
@@ -72,6 +73,7 @@ EXPERIMENTS = {
     "fig21": fig21_concurrent_stride.run,
     "fig22": fig22_shuffle.run,
     "fig23": fig23_trace_driven.run,
+    "hybrid": hybrid.run,
     "chaos": chaos.run,
     "adversarial": adversarial.run,
     "canary": canary.run,

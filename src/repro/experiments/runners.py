@@ -42,6 +42,9 @@ class RunResult:
     #: Deterministic metric/trace snapshot (``ObsContext.snapshot()``);
     #: empty unless the runner was given an ``obs`` context.
     telemetry: Dict[str, object] = field(default_factory=dict)
+    #: Fluid-tier snapshot (``FluidTier.snapshot()``) for hybrid runs;
+    #: empty on pure-packet runs.
+    fluid: Dict[str, object] = field(default_factory=dict)
     #: The live ObsContext (trace bus, registry) for post-run inspection.
     obs: Optional[object] = None
 

@@ -1,0 +1,29 @@
+"""Fluid background-traffic tier for hybrid-fidelity runs.
+
+The packet datapath (``repro.net``) simulates every segment of every
+flow; that fidelity is wasted on background load whose only job is to
+pressure the shared buffer and the ECN profile.  This package carries
+background flows as *fluid*: per-timestep expected-value byte flows
+(cwnd x pkt / RTT injection, residual-capacity drain, ECN-fraction
+feedback per flow class) that charge their backlog into the
+:class:`~repro.net.buffer.SharedBuffer` as an occupancy overlay and
+inflate packet serialization by the bandwidth they consume.
+
+Contract (see DESIGN.md section 15):
+
+* the fluid tier is deterministic and RNG-free — batch WRED is
+  expected-value, so the packet tier's RNG streams are unperturbed;
+* with zero background classes no stepper is scheduled and every
+  coupling hook returns its identity value, so a zero-background
+  hybrid run is byte-identical to pure-packet mode.
+"""
+
+from .model import FluidClass, FluidFlowSpec
+from .coupling import FluidPort, FluidTier
+
+__all__ = [
+    "FluidClass",
+    "FluidFlowSpec",
+    "FluidPort",
+    "FluidTier",
+]

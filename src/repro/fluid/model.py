@@ -1,0 +1,139 @@
+"""Fluid flow-class model: homogeneous background flows as one ODE state.
+
+A *flow class* aggregates ``n_flows`` identical long-lived flows sharing
+one bottleneck port: same RTT, same MSS, same congestion controller.
+Because the flows are homogeneous their windows synchronize in the fluid
+limit, so the class carries a single shared ``cwnd`` and injects
+``n_flows * cwnd / rtt`` bytes per second — the standard fluid-model
+approximation (Alizadeh et al.'s DCTCP fluid analysis uses the same
+N-identical-sources reduction).
+
+The congestion feedback law runs once per RTT on the byte fractions the
+coupling layer observed over that window:
+
+* ``dctcp``: alpha EWMA with gain 1/16 over the marked-byte fraction,
+  then ``cwnd *= 1 - alpha/2`` if any bytes were marked, else additive
+  increase of one MSS (DCTCP section 3.3);
+* ``reno``: halve on any lost bytes, else one MSS per RTT.
+
+Everything here is plain arithmetic on floats — no RNG, no wall clock —
+so the fluid tier is deterministic by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: DCTCP's recommended EWMA gain for the marked-fraction estimator.
+DCTCP_G = 1.0 / 16.0
+
+_CC_LAWS = ("dctcp", "reno")
+
+
+@dataclass(frozen=True)
+class FluidFlowSpec:
+    """Static description of one background flow class.
+
+    ``ect`` selects which WRED action the class feels: ECN-capable
+    classes are marked above K, non-ECT classes are dropped along the
+    WRED ramp (the Fig. 15/16 coexistence trap, now cheap enough to
+    run with hundreds of background flows).
+    """
+
+    name: str
+    n_flows: int
+    rtt_s: float
+    mss: int = 1460
+    cc: str = "dctcp"
+    ect: bool = True
+    init_cwnd_bytes: int = 10 * 1460
+
+    def __post_init__(self) -> None:
+        if self.n_flows <= 0:
+            raise ValueError("a fluid class needs at least one flow")
+        if self.rtt_s <= 0:
+            raise ValueError("fluid RTT must be positive")
+        if self.mss <= 0:
+            raise ValueError("fluid MSS must be positive")
+        if self.cc not in _CC_LAWS:
+            raise ValueError(f"unknown fluid cc {self.cc!r}; one of {_CC_LAWS}")
+        if self.init_cwnd_bytes < self.mss:
+            raise ValueError("initial cwnd must be at least one MSS")
+
+
+class FluidClass:
+    """Runtime state of one flow class at one port."""
+
+    __slots__ = ("spec", "cwnd", "alpha", "backlog",
+                 "rtt_clock", "win_sent", "win_marked", "win_lost",
+                 "offered_bytes", "delivered_bytes",
+                 "marked_bytes", "lost_bytes")
+
+    def __init__(self, spec: FluidFlowSpec):
+        self.spec = spec
+        self.cwnd = float(spec.init_cwnd_bytes)
+        self.alpha = 0.0
+        #: Bytes of this class currently queued at the port (fluid overlay).
+        self.backlog = 0.0
+        # Per-RTT feedback window accumulators.
+        self.rtt_clock = 0.0
+        self.win_sent = 0.0
+        self.win_marked = 0.0
+        self.win_lost = 0.0
+        # Lifetime counters (telemetry / benchmark accounting).
+        self.offered_bytes = 0.0
+        self.delivered_bytes = 0.0
+        self.marked_bytes = 0.0
+        self.lost_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    def offered_rate_bps(self) -> float:
+        """Current injection rate: ``n_flows * cwnd / rtt`` in bits/s."""
+        spec = self.spec
+        return spec.n_flows * self.cwnd * 8.0 / spec.rtt_s
+
+    def advance_feedback(self, dt: float) -> None:
+        """Advance the RTT clock; apply the cc law when a window closes.
+
+        Called once per fluid step after the window accumulators have
+        been fed.  The window closes on the first step boundary at or
+        past one RTT — the discretization every fluid model makes.
+        """
+        self.rtt_clock += dt
+        if self.rtt_clock < self.spec.rtt_s:
+            return
+        self.rtt_clock = 0.0
+        sent, marked, lost = self.win_sent, self.win_marked, self.win_lost
+        self.win_sent = self.win_marked = self.win_lost = 0.0
+        spec = self.spec
+        if spec.cc == "dctcp":
+            frac = marked / sent if sent > 0.0 else 0.0
+            self.alpha += DCTCP_G * (frac - self.alpha)
+            if lost > 0.0:
+                self.cwnd *= 0.5
+            elif marked > 0.0:
+                self.cwnd *= 1.0 - self.alpha / 2.0
+            else:
+                self.cwnd += spec.mss
+        else:  # reno
+            if lost > 0.0 or marked > 0.0:
+                self.cwnd *= 0.5
+            else:
+                self.cwnd += spec.mss
+        if self.cwnd < spec.mss:
+            self.cwnd = float(spec.mss)
+
+    def snapshot(self) -> dict:
+        """Counters in metric-source shape (see repro.obs)."""
+        return {
+            "name": self.spec.name,
+            "n_flows": self.spec.n_flows,
+            "cc": self.spec.cc,
+            "cwnd_bytes": self.cwnd,
+            "alpha": self.alpha,
+            "backlog_bytes": self.backlog,
+            "offered_bytes": self.offered_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "marked_bytes": self.marked_bytes,
+            "lost_bytes": self.lost_bytes,
+        }

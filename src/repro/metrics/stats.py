@@ -9,7 +9,7 @@ values.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def percentile(samples: Sequence[float], p: float) -> float:
@@ -22,7 +22,17 @@ def percentile(samples: Sequence[float], p: float) -> float:
         raise ValueError("percentile of empty sample set")
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p!r}")
-    ordered = sorted(samples)
+    return _percentile_sorted(sorted(samples), p)
+
+
+def _percentile_sorted(ordered: Sequence[float], p: float) -> float:
+    """:func:`percentile` over an **already-sorted** sample set.
+
+    The sorted-input fast path for callers that compute several
+    percentiles of one distribution (``summarize`` sits on the per-epoch
+    p99-FCT canary/SLO gating hot path; re-sorting the same list once
+    per percentile is pure waste).  Inputs are assumed validated.
+    """
     if len(ordered) == 1:
         return ordered[0]
     rank = (p / 100.0) * (len(ordered) - 1)
@@ -68,10 +78,10 @@ def summarize(samples: Sequence[float]) -> Dict[str, float]:
         "min": ordered[0],
         "max": ordered[-1],
         "mean": sum(ordered) / len(ordered),
-        "p50": percentile(ordered, 50),
-        "p95": percentile(ordered, 95),
-        "p99": percentile(ordered, 99),
-        "p999": percentile(ordered, 99.9),
+        "p50": _percentile_sorted(ordered, 50),
+        "p95": _percentile_sorted(ordered, 95),
+        "p99": _percentile_sorted(ordered, 99),
+        "p999": _percentile_sorted(ordered, 99.9),
     }
 
 
@@ -95,6 +105,11 @@ def moving_average(series: Iterable[Tuple[float, float]],
     """Time-windowed moving average of a (time, value) series.
 
     Used for the Fig. 9b "100 ms moving average" view of window sizes.
+    Timestamps must be non-decreasing: the sliding eviction pointer
+    assumes time order, and out-of-order input used to under- or
+    over-evict silently (the average went wrong with no error).  A point
+    exactly ``window_s`` old is still inside the window (inclusive left
+    edge).
     """
     points = list(series)
     if window_s <= 0:
@@ -102,7 +117,14 @@ def moving_average(series: Iterable[Tuple[float, float]],
     out: List[Tuple[float, float]] = []
     start = 0
     acc = 0.0
+    prev_t: Optional[float] = None
     for i, (t, v) in enumerate(points):
+        if prev_t is not None and t < prev_t:
+            raise ValueError(
+                f"moving_average needs non-decreasing timestamps: point "
+                f"{i} at t={t!r} follows t={prev_t!r}; sort the series "
+                f"before averaging")
+        prev_t = t
         acc += v
         while points[start][0] < t - window_s:
             acc -= points[start][1]

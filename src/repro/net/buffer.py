@@ -10,6 +10,20 @@ Threshold (DT) algorithm (Choudhury & Hahne): a queue may grow up to
 so a single congested port can claim ``alpha / (1 + alpha)`` of the buffer,
 and as more ports congest, each one's share shrinks — exactly the coupling
 Fig. 20 exercises by congesting 47 of 48 ports at once.
+
+Occupancy composition (the hybrid-fidelity coupling)
+----------------------------------------------------
+The fluid tier (``repro.fluid``) does not enqueue packets; it charges its
+per-port backlog into the pool as an **overlay**: ``set_overlay`` installs
+the fluid bytes for a queue, ``occupancy`` composes packet + fluid bytes
+(what WRED sees), and ``free`` subtracts the overlay so DT admission on
+the packet path feels fluid pressure exactly as it would feel packets.
+Packet-side accounting (``used``, ``queue_bytes``, ``queued_total``) stays
+packet-only — the sanitizer's byte-conservation audit is against packets
+the datapath actually offered, and composing fluid bytes into it would
+make the tripwire fire on correct runs.  With no overlay installed every
+composed reading degenerates to its packet-only value, which is what
+keeps a zero-background hybrid run byte-identical to pure-packet mode.
 """
 
 from __future__ import annotations
@@ -28,21 +42,39 @@ class SharedBuffer:
         self.capacity = capacity_bytes
         self.dt_alpha = dt_alpha
         self.used = 0
-        #: High-water mark of ``used`` (telemetry; never read by the DT
-        #: admission math).
+        #: High-water mark of total occupancy, packet + fluid overlay
+        #: (telemetry; never read by the DT admission math).
         self.peak_used = 0
         self._queues: Dict[int, int] = {}
+        #: Fluid-tier occupancy charged per queue (see module docstring).
+        self._overlay: Dict[int, int] = {}
+        #: Sum of all overlay charges (kept incrementally: ``free`` is on
+        #: the packet tier's per-packet admission path).
+        self.overlay_total = 0
 
     # ------------------------------------------------------------------
     def register_queue(self, queue_id: int) -> None:
         self._queues.setdefault(queue_id, 0)
 
     def queue_bytes(self, queue_id: int) -> int:
+        """Packet-tier bytes queued for ``queue_id`` (overlay excluded)."""
         return self._queues.get(queue_id, 0)
+
+    def occupancy(self, queue_id: int) -> int:
+        """Composed occupancy: packet bytes plus any fluid overlay.
+
+        This is the reading the WRED/ECN profile and any congestion
+        signal should use — it is what a real shared-memory switch's
+        queue-depth register would show with the background load present.
+        """
+        return self._queues.get(queue_id, 0) + self._overlay.get(queue_id, 0)
+
+    def overlay_bytes(self, queue_id: int) -> int:
+        return self._overlay.get(queue_id, 0)
 
     @property
     def free(self) -> int:
-        return self.capacity - self.used
+        return self.capacity - self.used - self.overlay_total
 
     def queued_total(self) -> int:
         """Sum of all per-queue occupancies (the sanitizer audits this
@@ -68,8 +100,9 @@ class SharedBuffer:
             return False
         self._queues[queue_id] = occupancy + nbytes
         self.used += nbytes
-        if self.used > self.peak_used:
-            self.peak_used = self.used
+        total = self.used + self.overlay_total
+        if total > self.peak_used:
+            self.peak_used = total
         return True
 
     def release(self, queue_id: int, nbytes: int) -> None:
@@ -81,3 +114,32 @@ class SharedBuffer:
             )
         self._queues[queue_id] = occupancy - nbytes
         self.used -= nbytes
+
+    # ------------------------------------------------------------------
+    # Fluid-tier occupancy composition (see module docstring)
+    # ------------------------------------------------------------------
+    def set_overlay(self, queue_id: int, nbytes: int) -> None:
+        """Install the fluid tier's occupancy for ``queue_id``.
+
+        Replaces (not adds to) the queue's previous overlay charge.  The
+        caller — the coupling layer — is responsible for capping its
+        backlog to what DT admission allows; charging past physical
+        capacity is a coupling bug and raises.
+        """
+        if nbytes < 0:
+            raise ValueError(f"overlay must be non-negative, got {nbytes!r}")
+        prev = self._overlay.get(queue_id, 0)
+        delta = nbytes - prev
+        if delta > 0 and self.used + self.overlay_total + delta > self.capacity:
+            raise ValueError(
+                f"overlay for queue {queue_id} would charge "
+                f"{self.used + self.overlay_total + delta}B into a "
+                f"{self.capacity}B pool")
+        if nbytes:
+            self._overlay[queue_id] = nbytes
+        else:
+            self._overlay.pop(queue_id, None)
+        self.overlay_total += delta
+        total = self.used + self.overlay_total
+        if total > self.peak_used:
+            self.peak_used = total

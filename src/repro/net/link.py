@@ -143,6 +143,15 @@ class SwitchTxPort(TxPort):
 
     The marking decision uses the queue occupancy *before* the arriving
     packet, consistent with arrival marking on the instantaneous queue.
+
+    A port may carry a **fluid coupling** (``repro.fluid``): background
+    flows whose bytes never become packets but whose backlog composes
+    into the occupancy WRED sees (via :meth:`SharedBuffer.occupancy`)
+    and whose arrival rate eats into the serializer (fluid-interleave:
+    packet serialization inflates by ``rate / (rate - fluid_rate)``).
+    The hook follows the zero-cost-off contract: ``_fluid`` is ``None``
+    unless coupled, and with an idle coupling every composed reading and
+    inflation factor is exactly its pure-packet value.
     """
 
     def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
@@ -162,17 +171,31 @@ class SwitchTxPort(TxPort):
         # Telemetry hook (repro.obs.context.PortObs); same one-None-test
         # contract as the sanitizer accounting above.
         self._obs = None
+        # Fluid coupling hook (repro.fluid.coupling.FluidPort); same
+        # one-None-test contract.
+        self._fluid = None
 
     def attach_obs(self, port_obs) -> None:
         """Install the observability hook for this port (see repro.obs)."""
         self._obs = port_obs
+
+    def attach_fluid(self, fluid_port) -> None:
+        """Install the fluid-tier coupling for this port (see repro.fluid)."""
+        self._fluid = fluid_port
+
+    def _serialization_time(self, packet: Packet) -> float:
+        seconds = super()._serialization_time(packet)
+        fluid = self._fluid
+        if fluid is not None:
+            seconds *= fluid.service_inflation()
+        return seconds
 
     def _admit(self, packet: Packet) -> bool:
         acct = self._accounting
         if acct is not None:
             acct.on_offer(packet.size)
         obs = self._obs
-        qb = self.shared.queue_bytes(self.queue_id)
+        qb = self.shared.occupancy(self.queue_id)
         decision = self.marker.decide(packet, qb)
         if decision.drop:
             if acct is not None:

@@ -1,11 +1,12 @@
 """Discrete-event simulation substrate (engine, timers, seeded RNG)."""
 
-from .engine import Event, SimulationError, Simulator
+from .engine import Event, PeriodicSource, SimulationError, Simulator
 from .rng import RngFactory
 from .timers import PeriodicTimer, Timer
 
 __all__ = [
     "Event",
+    "PeriodicSource",
     "PeriodicTimer",
     "RngFactory",
     "SimulationError",

@@ -1,6 +1,7 @@
 """Traffic: applications, workload orchestrators, trace distributions."""
 
 from .apps import BulkSender, EchoSink, MessageStream, PingPong, Sink
+from .background import BackgroundFlowGroup, TierRouter
 from .generators import ConcurrentStride, Shuffle, TraceDriven, start_incast
 from .traces import (
     DATA_MINING_CDF,
@@ -12,6 +13,7 @@ from .traces import (
 )
 
 __all__ = [
+    "BackgroundFlowGroup",
     "BulkSender",
     "ConcurrentStride",
     "DATA_MINING_CDF",
@@ -22,6 +24,7 @@ __all__ = [
     "PingPong",
     "Shuffle",
     "Sink",
+    "TierRouter",
     "TraceDriven",
     "WEB_SEARCH_CDF",
     "data_mining",

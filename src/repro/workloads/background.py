@@ -1,0 +1,92 @@
+"""Background traffic description and per-flow tier routing.
+
+Hybrid-fidelity runs split their traffic between two tiers: foreground
+flows that need packet-level fidelity (per-segment FCT, retransmission
+behaviour, vSwitch enforcement) ride the packet datapath; long-lived
+background whose only job is to pressure the bottleneck rides the fluid
+tier (``repro.fluid``) at a tiny fraction of the event cost.
+
+:class:`BackgroundFlowGroup` describes a homogeneous group of background
+flows independent of tier; :class:`TierRouter` decides, per group, which
+tier carries it.  Routing is explicit and deterministic — a group is
+packet-tier if it says so (``packet_tier=True``) or if the router is
+forced to ``"packet"`` mode (the fidelity-validation configuration where
+everything is simulated packet-level for comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..fluid.model import FluidFlowSpec
+
+_MODES = ("auto", "packet", "fluid")
+
+
+@dataclass(frozen=True)
+class BackgroundFlowGroup:
+    """A homogeneous group of long-lived background flows.
+
+    ``ect`` defaults from the congestion controller (DCTCP negotiates
+    ECN; Reno-style background is ECN-incapable, i.e. the non-ECT
+    victims of the Fig. 15/16 WRED trap).  ``packet_tier`` pins the
+    group to the packet datapath regardless of router mode — for small
+    groups whose per-flow behaviour matters.
+    """
+
+    name: str
+    n_flows: int
+    rtt_s: float
+    mss: int = 1460
+    cc: str = "dctcp"
+    ect: Optional[bool] = None
+    packet_tier: bool = False
+
+    @property
+    def resolved_ect(self) -> bool:
+        return self.cc == "dctcp" if self.ect is None else self.ect
+
+    def to_fluid_spec(self) -> FluidFlowSpec:
+        # Fluid classes start from one MSS: a cohort of hundreds dumping
+        # its aggregate initial window into the queue in a single fluid
+        # step is unphysical (real flows never start in lockstep) and
+        # parks the transient occupancy far above the WRED ramp.
+        return FluidFlowSpec(
+            name=self.name,
+            n_flows=self.n_flows,
+            rtt_s=self.rtt_s,
+            mss=self.mss,
+            cc="dctcp" if self.cc == "dctcp" else "reno",
+            ect=self.resolved_ect,
+            init_cwnd_bytes=self.mss,
+        )
+
+
+class TierRouter:
+    """Route background flow groups onto the packet or fluid tier.
+
+    * ``auto`` (default): fluid unless a group pins itself packet-tier;
+    * ``packet``: everything packet-level (validation runs);
+    * ``fluid``: everything fluid, overriding per-group pins (cost
+      ceiling for capacity planning; per-flow fidelity is forfeited).
+    """
+
+    def __init__(self, mode: str = "auto"):
+        if mode not in _MODES:
+            raise ValueError(f"unknown tier mode {mode!r}; one of {_MODES}")
+        self.mode = mode
+
+    def route(self, groups: Sequence[BackgroundFlowGroup],
+              ) -> Tuple[List[BackgroundFlowGroup], List[FluidFlowSpec]]:
+        """Split ``groups`` into (packet-tier groups, fluid specs)."""
+        packet: List[BackgroundFlowGroup] = []
+        fluid: List[FluidFlowSpec] = []
+        for group in groups:
+            if self.mode == "fluid":
+                fluid.append(group.to_fluid_spec())
+            elif self.mode == "packet" or group.packet_tier:
+                packet.append(group)
+            else:
+                fluid.append(group.to_fluid_spec())
+        return packet, fluid

@@ -91,3 +91,64 @@ def test_accounting_invariants(ops):
         assert buf.used == sum(sum(v) for v in held.values())
         for q in range(4):
             assert buf.queue_bytes(q) == sum(held[q])
+
+
+# ---------------------------------------------------------------------------
+# Fluid overlay composition (repro.fluid coupling; see buffer docstring)
+# ---------------------------------------------------------------------------
+def test_overlay_composes_into_occupancy_not_packet_accounting():
+    buf = SharedBuffer(10_000, dt_alpha=1.0)
+    buf.register_queue(0)
+    assert buf.try_admit(0, 1_000)
+    buf.set_overlay(0, 2_500)
+    assert buf.occupancy(0) == 3_500
+    assert buf.overlay_bytes(0) == 2_500
+    # Packet-tier accounting stays packet-only (sanitizer contract).
+    assert buf.queue_bytes(0) == 1_000
+    assert buf.used == 1_000
+    assert buf.queued_total() == 1_000
+    # ... but free capacity (and with it the DT threshold) feels it.
+    assert buf.free == 10_000 - 1_000 - 2_500
+    assert buf.threshold() == buf.free
+
+
+def test_overlay_replaces_previous_charge():
+    buf = SharedBuffer(10_000)
+    buf.set_overlay(3, 4_000)
+    buf.set_overlay(3, 1_500)
+    assert buf.overlay_total == 1_500
+    assert buf.occupancy(3) == 1_500
+    buf.set_overlay(3, 0)
+    assert buf.overlay_total == 0
+    assert buf.occupancy(3) == 0
+
+
+def test_overlay_guards():
+    buf = SharedBuffer(10_000)
+    with pytest.raises(ValueError):
+        buf.set_overlay(0, -1)
+    assert buf.try_admit(0, 6_000)
+    with pytest.raises(ValueError):
+        buf.set_overlay(1, 5_000)  # 6000 + 5000 > capacity
+    buf.set_overlay(1, 4_000)      # exactly full is fine
+    assert buf.free == 0
+
+
+def test_peak_used_tracks_total_occupancy():
+    buf = SharedBuffer(10_000)
+    buf.set_overlay(0, 3_000)
+    assert buf.peak_used == 3_000
+    assert buf.try_admit(1, 2_000)
+    assert buf.peak_used == 5_000
+    buf.set_overlay(0, 0)
+    assert buf.peak_used == 5_000  # high-water mark never recedes
+
+
+def test_zero_overlay_degenerates_to_packet_only():
+    """With no overlay every composed reading equals its packet value
+    (the byte-identity contract for zero-background hybrid runs)."""
+    buf = SharedBuffer(5_000, dt_alpha=2.0)
+    assert buf.try_admit(0, 700)
+    assert buf.occupancy(0) == buf.queue_bytes(0) == 700
+    assert buf.free == buf.capacity - buf.used
+    assert buf.overlay_total == 0

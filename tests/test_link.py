@@ -122,11 +122,11 @@ def test_mark_then_drop_neither_stamps_nor_counts(sim, trap):
     # Queue parked above K while the shared buffer is exactly full: the
     # arriving ECT packet earns a mark verdict but fails admission.  It
     # must count as a drop only — no CE stamp, no marker/port mark stats.
-    port, shared, marker = make_switch_port(sim, trap, capacity=2_000, k=1_000)
+    port, shared, marker = make_switch_port(sim, trap, capacity=2_000, k=900)
     assert port.enqueue(data(1000, ECN_ECT0))       # queue 0 -> no mark
-    assert port.enqueue(data(1000, ECN_ECT0))       # queue 1000 >= K -> marked
+    assert port.enqueue(data(1000, ECN_ECT0))       # queue 1000 > K -> marked
     assert marker.marked_packets == 1
-    victim = data(1000, ECN_ECT0)                   # queue 2000 >= K, buffer full
+    victim = data(1000, ECN_ECT0)                   # queue 2000 > K, buffer full
     assert not port.enqueue(victim)
     assert victim.ecn == ECN_ECT0                   # no bogus CE stamp
     assert port.stats.dropped_packets == 1

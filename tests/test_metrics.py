@@ -1,5 +1,7 @@
 """Unit tests for statistics helpers."""
 
+import statistics
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -11,6 +13,7 @@ from repro.metrics import (
     percentile,
     summarize,
 )
+from repro.metrics.stats import _percentile_sorted
 
 
 def test_percentile_basic():
@@ -133,3 +136,69 @@ def test_moving_average_window():
 def test_moving_average_bad_window():
     with pytest.raises(ValueError):
         moving_average([(0, 1)], window_s=0)
+
+
+def test_moving_average_rejects_non_monotonic_time():
+    """Out-of-order timestamps used to corrupt the eviction window
+    silently (the start pointer under/over-evicted); now they raise."""
+    series = [(0.0, 1.0), (0.2, 2.0), (0.1, 3.0)]
+    with pytest.raises(ValueError, match="non-decreasing"):
+        moving_average(series, window_s=0.5)
+
+
+def test_moving_average_allows_equal_timestamps():
+    out = moving_average([(0.0, 2.0), (0.0, 4.0)], window_s=0.1)
+    assert out[1][1] == pytest.approx(3.0)
+
+
+def test_moving_average_boundary_point_exactly_window_old():
+    """A sample exactly ``window_s`` old is still in the window: the
+    eviction test is strict (< t - window), so the boundary point
+    contributes to the average at t."""
+    series = [(0.0, 10.0), (0.1, 20.0)]
+    out = moving_average(series, window_s=0.1)
+    assert out[1][1] == pytest.approx(15.0)  # both points: 0.0 kept
+    # One epsilon past the boundary, the old point is evicted.
+    series = [(0.0, 10.0), (0.1 + 1e-9, 20.0)]
+    out = moving_average(series, window_s=0.1)
+    assert out[1][1] == pytest.approx(20.0)
+
+
+# ---------------------------------------------------------------------------
+# Sorted fast path + property tests against the stdlib
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=80),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_sorted_fast_path_matches(samples, p):
+    assert _percentile_sorted(sorted(samples), p) == percentile(samples, p)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                max_size=80))
+def test_percentile_matches_statistics_quantiles(samples):
+    """The linear-interpolation percentile agrees with the stdlib's
+    inclusive quantiles at every interior percent point."""
+    cuts = statistics.quantiles(samples, n=100, method="inclusive")
+    tolerance = 1e-9 * (abs(max(samples)) + abs(min(samples)) + 1.0)
+    for k in (1, 5, 25, 50, 75, 95, 99):
+        assert percentile(samples, k) == pytest.approx(
+            cuts[k - 1], abs=tolerance)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=80))
+def test_cdf_points_properties(samples):
+    points = cdf_points(samples)
+    n = len(samples)
+    assert len(points) == n
+    values = [v for v, _f in points]
+    fractions = [f for _v, f in points]
+    assert values == sorted(samples)
+    assert fractions == [(i + 1) / n for i in range(n)]
+    assert fractions[-1] == 1.0
+    # The CDF at the stdlib's inclusive median never exceeds the value
+    # the empirical CDF assigns to the next sorted sample above it.
+    if n >= 2:
+        med = statistics.median(samples)
+        assert min(values) <= med <= max(values)

@@ -278,3 +278,58 @@ def test_determinism_across_instances():
     a.run()
     b.run()
     assert la == lb
+
+
+# ---------------------------------------------------------------------------
+# PeriodicSource: grid-aligned batch event source
+# ---------------------------------------------------------------------------
+def test_periodic_source_fires_on_grid(sim):
+    times = []
+    source = sim.schedule_periodic(0.1, lambda: times.append(sim.now))
+    sim.run(until=0.55)
+    assert times == [pytest.approx(0.1 * i) for i in range(6)]
+    assert source.ticks == 6
+
+
+def test_periodic_source_does_not_drift(sim):
+    """Tick times come from start + n*interval, not accumulation: after
+    many ticks of an inexact-binary interval, the clock is still the
+    exact product, not a sum of rounding errors."""
+    source = sim.schedule_periodic(1e-4, lambda: None)
+    sim.run(until=1.0)
+    assert source.ticks == 10_001
+    assert sim.now == (source.ticks - 1) * 1e-4
+
+
+def test_periodic_source_stop_cancels_pending(sim):
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] == 3:
+            source.stop()
+
+    source = sim.schedule_periodic(0.1, tick)
+    sim.run()
+    assert count[0] == 3
+    assert source.stopped
+    source.stop()  # idempotent
+
+
+def test_periodic_source_start_at(sim):
+    times = []
+    sim.schedule_periodic(0.1, lambda: times.append(sim.now), start_at=0.25)
+    sim.run(until=0.5)
+    assert times == [pytest.approx(0.25), pytest.approx(0.35),
+                     pytest.approx(0.45)]
+
+
+def test_periodic_source_rejects_bad_args(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(0.0, lambda: None)
+    sim.schedule(0.0, lambda: None)
+    sim.run()
+    sim.schedule_at(1.0, lambda: None)
+    sim.run(until=1.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(0.1, lambda: None, start_at=0.5)
