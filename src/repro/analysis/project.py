@@ -50,7 +50,7 @@ WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
 #: class can leave them ``None`` (RL103).
 DEFAULT_HOOK_ATTRS = (
     "obs", "trace", "flight", "sanitizer", "guard", "window_cb",
-    "recorder", "bus", "_obs", "_accounting",
+    "recorder", "bus", "_obs", "_accounting", "_int", "int_tel",
 )
 
 #: Callees whose callable arguments land in the engine's (picklable) heap.

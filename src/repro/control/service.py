@@ -37,7 +37,7 @@ from ..experiments.common import ACDC, k_bytes_for_rate
 from ..guard import Guard, GuardConfig
 from ..metrics.collectors import FctRecorder
 from ..net.topology import star
-from ..obs import ObsContext, TraceConfig, WARNING
+from ..obs import IntTelemetry, ObsContext, TraceConfig, WARNING
 from ..obs.adapters import FaultRecorderAdapter
 from ..runtime.spec import canonical_json
 from ..sim.engine import Simulator
@@ -77,6 +77,9 @@ class ServiceConfig:
     default_policy: Optional[dict] = None
     #: SLO threshold overrides (see SloThresholds).
     slo: Optional[dict] = None
+    #: In-band network telemetry (repro.obs.int): stamp per-hop metadata
+    #: at the switch and grade per-hop queue depth as an SLO signal.
+    int_telemetry: bool = False
     #: Chaos: wrap the first host's datapath in a fault chain of this
     #: intensity (0 disables; see repro.experiments.chaos.fault_chain).
     fault_intensity: float = 0.0
@@ -418,6 +421,16 @@ class Service:
                 ops=OpsCounter(), guard=guard, obs=self.obs)
             host.attach_vswitch(vsw)
             self.vswitches[host.addr] = vsw
+        self.int_tel: Optional[IntTelemetry] = None
+        if config.int_telemetry:
+            tel = IntTelemetry(self.sim)
+            tel.attach_topology(self.topo)
+            for vsw in self.vswitches.values():
+                tel.attach_vswitch(vsw)
+            self.obs.register_int(tel)
+            self.int_tel = tel
+        # Per-flow read cursor into TelemetryView.q_samples (epoch deltas).
+        self._prev_q_idx: Dict[tuple, int] = {}
         for i in range(config.adversarial_hosts):
             self.hosts[i].set_tenant_profile(ignore_rwnd=True)
         if config.fault_intensity > 0:
@@ -457,9 +470,26 @@ class Service:
             }
         return out
 
+    def _drain_queue_samples(self) -> Dict[str, List[float]]:
+        """New INT bottleneck queue-depth samples since the last epoch,
+        grouped by *sending* host (cohort attribution is by sender,
+        same as FCT labels).  Empty when INT is off."""
+        out: Dict[str, List[float]] = {}
+        tel = self.int_tel
+        if tel is None:
+            return out
+        for key, view in tel.views().items():
+            samples = view.q_samples
+            start = self._prev_q_idx.get(key, 0)
+            if len(samples) > start:
+                out.setdefault(key[0], []).extend(samples[start:])
+            self._prev_q_idx[key] = len(samples)
+        return out
+
     def _cohort_sample(self, addrs: List[str], now: Dict[str, dict],
                        fcts_by_host: Dict[str, List[float]],
-                       arrivals: Dict[str, int]) -> CohortSample:
+                       arrivals: Dict[str, int],
+                       queues_by_host: Dict[str, List[float]]) -> CohortSample:
         sample = CohortSample(hosts=len(addrs))
         for addr in addrs:
             delta = {k: now[addr][k] - self._prev_counters[addr][k]
@@ -470,12 +500,15 @@ class Service:
             sample.drops += delta["drops"]
             sample.arrivals += arrivals[addr] - self._prev_arrivals[addr]
             sample.fcts.extend(fcts_by_host.get(addr, []))
+            sample.queue_depths.extend(queues_by_host.get(addr, []))
         sample.fcts.sort()
+        sample.queue_depths.sort()
         return sample
 
     def _close_epoch(self, epoch: int, t_end: float) -> dict:
         now = self._counters_now()
         arrivals = dict(self.workload.arrivals)
+        queues = self._drain_queue_samples()
         fcts_by_host: Dict[str, List[float]] = {}
         for record in self.workload.recorder.records:
             if record.end is None or not self._prev_t < record.end <= t_end:
@@ -489,9 +522,9 @@ class Service:
             baseline_addrs = [a for a in sorted(self.vswitches)
                               if a not in rollout.cohort]
             canary = self._cohort_sample(rollout.cohort, now,
-                                         fcts_by_host, arrivals)
+                                         fcts_by_host, arrivals, queues)
             baseline = self._cohort_sample(baseline_addrs, now,
-                                           fcts_by_host, arrivals)
+                                           fcts_by_host, arrivals, queues)
             violations = evaluate_slos(canary, baseline, self.slo)
             action = rollout.tick(epoch, violations,
                                   is_gradeable(canary, self.slo))
@@ -505,7 +538,7 @@ class Service:
             report["canary"] = {"state": rollout.state, "action": action}
         else:
             everyone = self._cohort_sample(sorted(self.vswitches), now,
-                                           fcts_by_host, arrivals)
+                                           fcts_by_host, arrivals, queues)
             report["cohorts"] = {"all": everyone.to_json()}
         report["commands"] = control.drain(epoch)
         self._prev_counters = self._counters_now()
@@ -593,6 +626,8 @@ class Service:
                          for a, p in self.control.intended.items()},
             "fct": {"per_host": per_host, "cohorts": cohorts},
             "counters": counters,
+            "int": (self.int_tel.snapshot()
+                    if self.int_tel is not None else None),
             "faults": self.fault_recorder.snapshot(),
             "trace": self.obs.bus.summary(),
             "signature": signature,

@@ -36,6 +36,14 @@ class SloThresholds:
     guard_escalation_delta: float = 0.0
     #: Extra policer + guard drops per canary host per epoch allowed.
     policer_drop_delta: float = 2.0
+    #: Canary per-hop bottleneck queue-depth p99 (from INT telemetry,
+    #: repro.obs.int) may be at most this multiple of the baseline's.
+    #: Graded only when *both* cohorts carried INT samples in the epoch
+    #: — with INT off (or one cohort unreported) the clause is vacuous.
+    queue_p99_ratio: float = 3.0
+    #: Baseline queue p99 is floored here before the ratio is applied
+    #: (bytes); near-empty queues would otherwise page on noise.
+    queue_p99_floor_bytes: float = 30000.0
     #: Completed canary messages needed before FCT SLOs are graded (an
     #: idle cohort is "insufficient data", not "healthy").
     min_samples: int = 4
@@ -46,7 +54,10 @@ class SloThresholds:
     def __post_init__(self) -> None:
         if self.p99_fct_ratio < 1.0:
             raise ValueError("p99_fct_ratio must be >= 1.0")
-        if self.p99_fct_floor_s < 0 or self.mark_rate_delta < 0:
+        if self.queue_p99_ratio < 1.0:
+            raise ValueError("queue_p99_ratio must be >= 1.0")
+        if self.p99_fct_floor_s < 0 or self.mark_rate_delta < 0 \
+                or self.queue_p99_floor_bytes < 0:
             raise ValueError("SLO slack values must be non-negative")
         if self.min_samples < 1 or self.stall_baseline_samples < 1:
             raise ValueError("sample minimums must be positive")
@@ -66,12 +77,21 @@ class CohortSample:
     ecn_marks: int = 0
     escalations: int = 0
     drops: int = 0
+    #: Per-report bottleneck queue-depth samples (bytes) from the
+    #: cohort's INT telemetry views this epoch; empty when INT is off.
+    queue_depths: List[float] = field(default_factory=list)
 
     @property
     def p99(self) -> Optional[float]:
         if not self.fcts:
             return None
         return percentile(self.fcts, 99)
+
+    @property
+    def queue_p99(self) -> Optional[float]:
+        if not self.queue_depths:
+            return None
+        return percentile(self.queue_depths, 99)
 
     @property
     def mark_rate(self) -> float:
@@ -93,6 +113,8 @@ class CohortSample:
             "ecn_marks": self.ecn_marks,
             "escalations": self.escalations,
             "drops": self.drops,
+            "queue_samples": len(self.queue_depths),
+            "queue_p99_bytes": self.queue_p99,
         }
 
 
@@ -146,6 +168,17 @@ def evaluate_slos(canary: CohortSample, baseline: CohortSample,
         violations.append({"slo": "policer_drops", "canary": drops,
                            "baseline": baseline.per_host(baseline.drops),
                            "limit": drop_limit})
+
+    # In-network queue depth (INT): graded only when both cohorts saw
+    # telemetry this epoch — a candidate whose hosts stop reporting must
+    # not make the clause pass vacuously against a reporting baseline.
+    base_q99 = baseline.queue_p99
+    q99 = canary.queue_p99
+    if base_q99 is not None and q99 is not None:
+        limit = max(base_q99, slo.queue_p99_floor_bytes) * slo.queue_p99_ratio
+        if q99 > limit:
+            violations.append({"slo": "int_queue_p99", "canary": q99,
+                               "baseline": base_q99, "limit": limit})
     return violations
 
 

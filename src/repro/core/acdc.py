@@ -116,6 +116,10 @@ class AcdcVswitch:
                        if (trace_on or sanitize_on) else None)
         if obs is not None:
             obs.register_vswitch(self)
+        # In-band telemetry (repro.obs.int): sink/echo/view logic for
+        # this datapath.  Same `is None` contract; attached via
+        # :meth:`attach_int` by the run's IntTelemetry context.
+        self.int_tel = None
         self.sanitizer = sanitize.DatapathSanitizer(self) if sanitize_on else None
         # Adversarial-tenant protection (repro.guard.Guard, optional):
         # conformance monitoring, escalation, watchdog load shedding.
@@ -127,6 +131,10 @@ class AcdcVswitch:
         # vSwitch suffered and flow entries rebuilt mid-flow afterwards.
         self.restarts = 0
         self.resurrections = 0
+
+    def attach_int(self, telemetry) -> None:
+        """Install the run's INT context (see repro.obs.int)."""
+        self.int_tel = telemetry
 
     # ------------------------------------------------------------------
     # Entry management
@@ -364,6 +372,11 @@ class AcdcVswitch:
         entry = self.table.lookup(ack.reverse_key())
         if entry is None or not entry.policy.enforced:
             return
+        tel = self.int_tel
+        if tel is not None:
+            # INT echo rides the same piggyback direction as the PACK
+            # option, but out of band (it never changes the ACK's size).
+            tel.on_egress_ack(entry, ack)
         feedback = entry.receiver_feedback
         if feedback.total_bytes == 0:
             return  # nothing to report yet
@@ -426,6 +439,12 @@ class AcdcVswitch:
             # the transfer was in progress.  Resurrect the sender-role
             # entry; conntrack seeds snd_una from this very ACK.
             entry = self._resurrect(pkt.reverse_key())
+        tel = self.int_tel
+        if tel is not None:
+            # Before any early return: INT echoes are vSwitch-to-vSwitch
+            # metadata and must be terminated here regardless of policy,
+            # shed state or FACK consumption.
+            tel.on_ingress_ack(self, entry, pkt)
         if not entry.policy.enforced:
             return bool(pkt.is_fack)
         san = self.sanitizer
@@ -529,6 +548,10 @@ class AcdcVswitch:
             return
         entry.receiver_feedback.on_data(pkt)
         self.ops.record("counters_update")
+        tel = self.int_tel
+        if tel is not None:
+            # INT sink: absorb (validated) and strip the hop stack.
+            tel.on_ingress_data(self, entry, pkt)
         if self.sanitizer is not None:
             self.sanitizer.check_feedback_counters(
                 entry.key, entry.receiver_feedback.total_bytes,

@@ -105,6 +105,14 @@ class VswitchDctcp:
             self._cong_avoid(newly_acked)
         return self.window_bytes
 
+    def on_int_report(self, view) -> None:
+        """One consumed in-network telemetry report (repro.obs.int).
+
+        ``view`` is the flow's :class:`~repro.obs.int.TelemetryView`.
+        Stock DCTCP reacts only to ECN feedback, so the report is
+        ignored; telemetry-driven laws (PowerTCP style) override this.
+        """
+
     def on_timeout(self, snd_una: int, snd_nxt: int) -> int:
         """Inferred RTO (inactivity with bytes outstanding): saturate alpha
         and cut; Fig. 5 treats it as the loss branch."""

@@ -41,6 +41,7 @@ class FlowEntry:
         "conntrack", "vswitch_cc", "enforcer", "feedback_reader",
         "receiver_feedback", "peer_wscale", "vm_ect", "fin_seen",
         "inactivity_timer", "enforced_wnd", "shed", "guard_state",
+        "int_sink", "int_view",
     )
 
     def __init__(self, key: FlowKey, policy: FlowPolicy, now: float, mss: int):
@@ -69,6 +70,10 @@ class FlowEntry:
         # per-flow conformance record, attached lazily by the Guard.
         self.shed = False
         self.guard_state = None
+        # In-band telemetry (repro.obs.int): receiver-role sink and
+        # sender-role view, created lazily when INT is on for the run.
+        self.int_sink = None
+        self.int_view = None
 
     def touch(self, now: float) -> None:
         self.last_active = now

@@ -74,6 +74,15 @@ class VswitchCongestionControl:
             self._grow(newly_acked)
         return self.window_bytes
 
+    def on_int_report(self, view) -> None:
+        """One consumed in-network telemetry report (repro.obs.int).
+
+        ``view`` is the flow's :class:`~repro.obs.int.TelemetryView`
+        (bottleneck hop, queue depth, path latency decomposition).  The
+        base class ignores it; telemetry-driven window laws (PowerTCP
+        style) override this to react to in-network state directly.
+        """
+
     def on_timeout(self, snd_una: int, snd_nxt: int) -> int:
         """Inferred RTO: slow-start restart."""
         self._seed_gates(snd_una)

@@ -50,6 +50,7 @@ from . import (
     fig23_trace_driven,
     gameday,
     hybrid,
+    int_attribution,
     parking_lot_results,
     table1_cc_variants,
 )
@@ -74,6 +75,7 @@ EXPERIMENTS = {
     "fig22": fig22_shuffle.run,
     "fig23": fig23_trace_driven.run,
     "hybrid": hybrid.run,
+    "int-attribution": int_attribution.run,
     "chaos": chaos.run,
     "adversarial": adversarial.run,
     "canary": canary.run,

@@ -74,6 +74,10 @@ def _finish(result: RunResult, topo, tier: Optional[FluidTier],
     if tier is not None:
         tier.stop()
         result.fluid = tier.snapshot()
+        if obs is not None:
+            # Flatten the coupling stats into the telemetry snapshot so
+            # a hybrid run is observable like a packet run.
+            obs.register_fluid(tier)
     if obs is not None:
         result.obs = obs
         result.telemetry = obs.snapshot()

@@ -1,0 +1,198 @@
+"""INT bottleneck attribution: which hop owns the p99 message FCT?
+
+The headline demonstration for the in-network telemetry pipeline
+(``repro.obs.int``, DESIGN.md §16).  An incast of fixed-size messages
+crosses a two-switch asymmetric path:
+
+* ``variant="edge"`` — the receiver's *access* link is 10× slower than
+  everything else, so the congestion lives at the far hop
+  (``sw-edge.p1``, the receiver-facing port);
+* ``variant="core"`` — the inter-switch *trunk* is the slow link, so
+  the congestion lives at the near hop (``sw-core.p0``).
+
+End-to-end metrics (p99 FCT, drops) look identical in shape between the
+variants — the whole point of per-hop telemetry is that the INT reports
+do not: the bottleneck attribution table names the loaded hop, and
+flipping the variant flips the attribution.  The run also attributes
+the *p99 message specifically*: the ``int.report`` events scoped to that
+message's flow during its lifetime name the hop that made it slow.
+
+Everything here is deterministic (seeded workload, RNG-free telemetry);
+``_cell`` takes plain-JSON kwargs so the runtime byte-identity tests can
+replay it through serial, pool and cache paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..metrics import percentile
+from ..metrics.collectors import FctRecorder
+from ..net.topology import Topology
+from ..obs import IntTelemetry, ObsContext
+from ..obs.export import write_jsonl
+from ..sim import Simulator
+from ..workloads.apps import MessageStream, Sink
+from .common import ACDC, attach_vswitches, switch_opts
+from .runners import DATA_PORT, _total_drop_rate
+
+#: Slow-link ratio: the bottleneck link runs at line rate over this.
+SLOWDOWN = 10.0
+
+#: Expected bottleneck hop id per variant (port order is fixed by the
+#: build: the trunk is linked before any host, the receiver before the
+#: senders, so sw-core.p0 = trunk, sw-edge.p1 = receiver access).
+EXPECTED_HOP = {"edge": "sw-edge.p1", "core": "sw-core.p0"}
+
+
+def _build(sim: Simulator, variant: str, n_senders: int, rate_bps: float,
+           mtu: int, seed: int):
+    """Two-switch asymmetric path; returns (topo, senders, receiver)."""
+    if variant not in EXPECTED_HOP:
+        raise ValueError(f"unknown variant {variant!r}")
+    slow = rate_bps / SLOWDOWN
+    # WRED/DT thresholds sized for the slow link — it is the bottleneck
+    # whose marking behaviour matters, as in the stock runners.
+    opts = switch_opts(ACDC, slow)
+    topo = Topology(sim, seed=seed)
+    core = topo.add_switch("sw-core", **opts)
+    edge = topo.add_switch("sw-edge", **opts)
+    topo.link_switches(core, edge,
+                       slow if variant == "core" else rate_bps)
+    receiver = topo.add_host("recv", mtu=mtu)
+    topo.link_host(receiver, edge,
+                   slow if variant == "edge" else rate_bps)
+    senders = []
+    for i in range(n_senders):
+        host = topo.add_host(f"s{i + 1}", mtu=mtu)
+        topo.link_host(host, core, rate_bps)
+        senders.append(host)
+    topo.finalize()
+    return topo, senders, receiver
+
+
+def _attribution(records: List[dict]) -> Dict[str, dict]:
+    """Fold ok ``int.report`` events into the per-hop attribution table."""
+    table: Dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "int.report" or record.get("status") != "ok":
+            continue
+        hop = str(record.get("bottleneck"))
+        entry = table.setdefault(hop, {"reports": 0, "q_max_bytes": 0.0,
+                                       "residence_s": 0.0})
+        entry["reports"] += 1
+        entry["q_max_bytes"] = max(entry["q_max_bytes"],
+                                   float(record.get("q_max_bytes", 0.0)))
+        entry["residence_s"] += float(record.get("residence_s", 0.0))
+    total = sum(e["reports"] for e in table.values())
+    for entry in table.values():
+        entry["share"] = entry["reports"] / total if total else 0.0
+        entry["mean_residence_us"] = (entry["residence_s"] / entry["reports"]
+                                      * 1e6 if entry["reports"] else 0.0)
+        del entry["residence_s"]
+    return dict(sorted(table.items(),
+                       key=lambda kv: (-kv[1]["reports"], kv[0])))
+
+
+def _cell(variant: str, n_senders: int = 8, msg_bytes: int = 32_768,
+          rounds: int = 4, rate_bps: float = 1e9, mtu: int = 1500,
+          seed: int = 0, telemetry: bool = False) -> dict:
+    """One variant's incast run with INT on; plain-JSON kwargs only."""
+    sim = Simulator()
+    topo, senders, receiver = _build(sim, variant, n_senders, rate_bps,
+                                     mtu, seed)
+    obs = ObsContext(sim)
+    obs.attach_topology(topo)
+    tel = IntTelemetry(sim)
+    tel.attach_topology(topo)
+    vsw = attach_vswitches(ACDC, senders + [receiver], obs=obs)
+    for vswitch in vsw.values():
+        tel.attach_vswitch(vswitch)
+    obs.register_int(tel)
+
+    conn_opts = ACDC.conn_opts()
+    recorder = FctRecorder()
+    sink = Sink(receiver, DATA_PORT, **conn_opts)
+    streams = [MessageStream(sim, sender, receiver.addr, DATA_PORT, sink,
+                             recorder, label=f"{sender.addr}>recv",
+                             conn_opts=dict(conn_opts))
+               for sender in senders]
+    # Connections establish quietly, then synchronized message rounds —
+    # every round is one incast burst through the slow link.
+    storm_at = 0.01
+    slow = rate_bps / SLOWDOWN
+    round_s = 2.0 * n_senders * msg_bytes * 8.0 / slow
+    for r in range(rounds):
+        for stream in streams:
+            sim.schedule_at(storm_at + r * round_s,
+                            stream.send_message, msg_bytes)
+    duration = storm_at + (rounds + 1) * round_s
+    sim.run(until=duration)
+
+    fcts = sorted(recorder.fcts())
+    p99 = percentile(fcts, 99) if fcts else None
+    records = obs.bus.records()
+    # Data-direction INT reports only: the ACK-direction flows (recv ->
+    # sender) carry their own telemetry, irrelevant to message FCT.
+    data_reports = [r for r in records
+                    if str(r.get("type", "")).startswith("int.")
+                    and ">recv:" in str(r.get("flow") or "")]
+    attribution = _attribution(data_reports)
+
+    # Per-message attribution of the p99 message itself: the reports
+    # scoped to its flow during its lifetime.
+    p99_attribution: Optional[dict] = None
+    if p99 is not None:
+        slowest = min((r for r in recorder.completed() if r.fct >= p99),
+                      key=lambda r: r.fct)
+        src = slowest.label.split(">", 1)[0]
+        window = [r for r in data_reports
+                  if str(r.get("flow", "")).startswith(f"{src}:")
+                  and slowest.start <= r.get("t", 0.0) <= slowest.end]
+        per_msg = _attribution(window)
+        p99_attribution = {
+            "flow": slowest.label,
+            "fct_ms": slowest.fct * 1e3,
+            "hop": next(iter(per_msg), None),
+            "attribution": per_msg,
+        }
+
+    bottleneck = next(iter(attribution), None)
+    out: Dict[str, object] = {
+        "variant": variant,
+        "expected_hop": EXPECTED_HOP[variant],
+        "bottleneck_hop": bottleneck,
+        "attribution_correct": bottleneck == EXPECTED_HOP[variant],
+        "completed": len(fcts),
+        "expected_messages": n_senders * rounds,
+        "p99_fct_ms": p99 * 1e3 if p99 is not None else None,
+        "drop_rate_pct": _total_drop_rate(topo) * 100.0,
+        "attribution": attribution,
+        "p99_attribution": p99_attribution,
+        "int": tel.snapshot(),
+    }
+    if telemetry:
+        out["telemetry"] = obs.snapshot()
+        out["trace"] = records
+    return out
+
+
+def run(seed: int = 0, quick: bool = False,
+        trace_path: Optional[str] = None) -> dict:
+    """Both variants; the attribution table must flip with the topology."""
+    n_senders = 4 if quick else 8
+    rounds = 2 if quick else 4
+    out: Dict[str, object] = {}
+    traces: List[dict] = []
+    for variant in ("edge", "core"):
+        cell = _cell(variant, n_senders=n_senders, rounds=rounds, seed=seed,
+                     telemetry=trace_path is not None)
+        if trace_path is not None:
+            traces.extend(cell.pop("trace"))
+            cell.pop("telemetry")
+        out[variant] = cell
+    out["attribution_flips"] = (
+        out["edge"]["bottleneck_hop"] != out["core"]["bottleneck_hop"])
+    if trace_path is not None:
+        out["trace_path"] = write_jsonl(traces, trace_path)
+    return out

@@ -67,6 +67,20 @@ def _total_drop_rate(topology) -> float:
     return dropped / total if total else 0.0
 
 
+def _attach_int(int_tel, sim, topology, vswitches, obs) -> None:
+    """Wire an :class:`~repro.obs.int.IntTelemetry` context into a run:
+    stampers on every switch port, sink/echo/view logic on every AC/DC
+    vSwitch, and (when an obs context is present) its metric sources."""
+    if int_tel is None:
+        return
+    int_tel.bind(sim)
+    int_tel.attach_topology(topology)
+    for vswitch in vswitches.values():
+        int_tel.attach_vswitch(vswitch)
+    if obs is not None:
+        obs.register_int(int_tel)
+
+
 def run_dumbbell(
     scheme: Scheme,
     pairs: int = 5,
@@ -89,6 +103,7 @@ def run_dumbbell(
     tput_meters: bool = False,
     window_probe=None,
     obs=None,
+    int_tel=None,
 ) -> RunResult:
     """Long-lived flows s_i -> r_i on the Fig. 7a dumbbell.
 
@@ -107,6 +122,7 @@ def run_dumbbell(
     vsw = attach_vswitches(scheme, senders + receivers,
                            acdc_config=acdc_config, policy=policy,
                            window_cb=window_cb, obs=obs)
+    _attach_int(int_tel, sim, topo, vsw, obs)
     result = RunResult(scheme=scheme.name, duration=duration, vswitches=vsw,
                        sim=sim, topology=topo)
     meters = []
@@ -206,6 +222,7 @@ def run_incast(
     acdc_config: Optional[AcdcConfig] = None,
     guest_dctcp_floor_mss: Optional[int] = None,
     obs=None,
+    int_tel=None,
 ) -> RunResult:
     """N-to-1 incast of long-lived flows on a star (Fig. 18/19).
 
@@ -221,6 +238,7 @@ def run_incast(
         obs.bind(sim)
         obs.attach_topology(topo)
     vsw = attach_vswitches(scheme, hosts, acdc_config=acdc_config, obs=obs)
+    _attach_int(int_tel, sim, topo, vsw, obs)
     result = RunResult(scheme=scheme.name, duration=duration, vswitches=vsw,
                        sim=sim, topology=topo)
     opts = scheme.conn_opts()

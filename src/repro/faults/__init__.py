@@ -20,9 +20,12 @@ datapath knowing it is being tortured:
   design);
 * :class:`EcnBleach` — rewrites CE marks back to ECT before the
   receiver module counts them (adversarial receiver / broken middlebox);
-* :class:`OptionStrip` — removes PACK/FACK feedback options in transit
-  (option-dropping middlebox; exercises the guard's feedback-loss
-  fallback);
+* :class:`OptionStrip` — removes PACK/FACK feedback options (and INT
+  metadata) in transit (option-dropping middlebox; exercises the
+  guard's feedback-loss fallback);
+* :class:`IntMangler` — strips or corrupts in-band telemetry hop
+  stacks and echo digests (repro.obs.int); the sink/view validators'
+  counted-degradation contract is the behaviour under test;
 * :class:`WorkerKill` — SIGKILLs the process running the run at a
   simulated instant, exactly once across restarts (sentinel-file
   discipline); the crash-recovery path of :mod:`repro.recovery` is the
@@ -42,6 +45,7 @@ from .injectors import (
     EcnBleach,
     Fault,
     FaultyDatapath,
+    IntMangler,
     LinkFlap,
     OptionStrip,
     PacketLoss,
@@ -61,6 +65,7 @@ __all__ = [
     "EcnBleach",
     "Fault",
     "FaultyDatapath",
+    "IntMangler",
     "LinkFlap",
     "OptionStrip",
     "PacketLoss",

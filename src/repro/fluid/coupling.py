@@ -80,6 +80,14 @@ class FluidPort:
         self.wred_dropped_bytes = 0.0
         self.tail_lost_bytes = 0.0
         self.steps = 0
+        # Coupling observability (repro.obs flattens these into the
+        # RunResult.telemetry snapshot): high-water of the occupancy
+        # overlay charged into the shared buffer, high-water of the
+        # serialization inflation the packet tier felt, and the most
+        # recent tick's marked/offered fraction.
+        self.overlay_peak_bytes = 0
+        self.inflation_peak = 1.0
+        self.mark_fraction = 0.0
 
     # ------------------------------------------------------------------
     def add_class(self, spec: FluidFlowSpec) -> FluidClass:
@@ -120,6 +128,8 @@ class FluidPort:
         occupancy = shared.occupancy(qid)
         arrivals = []
         admitted_total = 0.0
+        offered_step = 0.0
+        marked_step = 0.0
         for cls in self.classes:
             offered = cls.offered_rate_bps() / 8.0 * dt
             cls.offered_bytes += offered
@@ -131,6 +141,7 @@ class FluidPort:
                 cls.marked_bytes += batch.marked_bytes
                 cls.win_marked += batch.marked_bytes
                 self.marked_bytes += batch.marked_bytes
+                marked_step += batch.marked_bytes
             else:
                 batch = self.marker.decide_batch(occupancy,
                                                  nonect_bytes=offered)
@@ -141,6 +152,7 @@ class FluidPort:
             arrivals.append(arrived)
             admitted_total += arrived
             self.offered_bytes += offered
+            offered_step += offered
 
         # (3) Dynamic Threshold admission, closed form over the batch.
         backlog_total = 0.0
@@ -193,13 +205,21 @@ class FluidPort:
             self.delivered_bytes += drained
 
         # (5) charge the surviving backlog into the shared pool.
-        shared.set_overlay(qid, int(backlog_total))
+        overlay = int(backlog_total)
+        shared.set_overlay(qid, overlay)
+        if overlay > self.overlay_peak_bytes:
+            self.overlay_peak_bytes = overlay
 
         # (6) close per-RTT feedback windows.
         for cls in self.classes:
             cls.advance_feedback(dt)
 
         self.arrival_bps = admitted_total * 8.0 / dt
+        self.mark_fraction = (marked_step / offered_step
+                              if offered_step > 0.0 else 0.0)
+        inflation = self.service_inflation()
+        if inflation > self.inflation_peak:
+            self.inflation_peak = inflation
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -214,6 +234,9 @@ class FluidPort:
             "wred_dropped_bytes": self.wred_dropped_bytes,
             "tail_lost_bytes": self.tail_lost_bytes,
             "overlay_bytes": self.shared.overlay_bytes(self.queue_id),
+            "overlay_peak_bytes": self.overlay_peak_bytes,
+            "inflation_peak": self.inflation_peak,
+            "mark_fraction": self.mark_fraction,
             "classes": [cls.snapshot() for cls in self.classes],
         }
 

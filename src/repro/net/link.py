@@ -174,6 +174,9 @@ class SwitchTxPort(TxPort):
         # Fluid coupling hook (repro.fluid.coupling.FluidPort); same
         # one-None-test contract.
         self._fluid = None
+        # In-band telemetry stamper (repro.obs.int.IntStamper); same
+        # one-None-test contract.
+        self._int = None
 
     def attach_obs(self, port_obs) -> None:
         """Install the observability hook for this port (see repro.obs)."""
@@ -182,6 +185,10 @@ class SwitchTxPort(TxPort):
     def attach_fluid(self, fluid_port) -> None:
         """Install the fluid-tier coupling for this port (see repro.fluid)."""
         self._fluid = fluid_port
+
+    def attach_int(self, stamper) -> None:
+        """Install the INT hop stamper for this port (see repro.obs.int)."""
+        self._int = stamper
 
     def _serialization_time(self, packet: Packet) -> float:
         seconds = super()._serialization_time(packet)
@@ -219,10 +226,18 @@ class SwitchTxPort(TxPort):
             acct.check(self.shared, self.sim)
         if obs is not None:
             obs.on_enqueue(qb, True, decision.marked)
+        stamper = self._int
+        if stamper is not None:
+            stamper.on_enqueue(packet, qb)
         return True
 
     def _release(self, packet: Packet) -> None:
         self.shared.release(self.queue_id, packet.size)
+        stamper = self._int
+        if stamper is not None:
+            # Stamp at departure (the hop record's residence time covers
+            # queueing + serialization); tx counters update after this.
+            stamper.on_depart(packet)
         if self._accounting is not None:
             self._accounting.on_release(packet.size)
             self._accounting.check(self.shared, self.sim)

@@ -147,6 +147,16 @@ class Packet:
     # The testbed runs with tcp_sack=1 (§5), and without it large-window
     # loss recovery is unrealistically slow.
     sack_blocks: Optional[Tuple[Tuple[int, int], ...]] = None
+    # In-band network telemetry (repro.obs.int), carried OUT OF BAND:
+    # neither field counts into :attr:`size`, because switch buffers
+    # account admit/release at the same byte size and a stack growing
+    # mid-queue would break that conservation (the real ~12 B/hop wire
+    # overhead is a documented fidelity boundary, DESIGN.md §16).
+    # ``int_stack`` is a list of per-hop tuples appended by switch
+    # ports; ``int_echo`` is the immutable digest a receiver vSwitch
+    # piggybacks on ACKs.  Both are stripped before any VM sees them.
+    int_stack: Optional[list] = None
+    int_echo: Optional[object] = None
     pid: int = field(default_factory=lambda: next(_packet_ids))
 
     # ------------------------------------------------------------------
@@ -177,6 +187,12 @@ class Packet:
         dup.pid = next(_packet_ids)
         if self.pack is not None:
             dup.pack = PackOption(self.pack.total_bytes, self.pack.marked_bytes)
+        if self.int_stack is not None:
+            # Hop records are immutable tuples; the list that holds them
+            # is not (switch ports append to it).
+            dup.int_stack = list(self.int_stack)
+        # int_echo is immutable by contract (see repro.obs.int.IntEcho),
+        # so the duplicate may share the reference.
         return dup
 
     def flow_key(self) -> FlowKey:

@@ -71,6 +71,10 @@ class Switch:
         """Instrument this switch and its ports (see repro.obs)."""
         obs.register_switch(self)
 
+    def attach_int(self, telemetry) -> None:
+        """Attach INT hop stampers to every port (see repro.obs.int)."""
+        telemetry.instrument_switch(self)
+
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         """Forward an arriving packet toward its destination."""

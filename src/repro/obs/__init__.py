@@ -17,8 +17,14 @@ into, replacing the ad-hoc logging each PR grew on its own
 * :mod:`repro.obs.export` — JSONL/CSV writers for trace streams;
 * :mod:`repro.obs.adapters` — drop-in ``EventLog``/``FaultRecorder``
   subclasses that mirror their records onto the bus;
-* ``python -m repro.obs`` — ``summary`` / ``grep`` / ``timeline``
-  inspection of an exported trace.
+* :mod:`repro.obs.int` — **in-band network telemetry**: switch ports
+  stamp per-hop metadata (queue depth, utilization, residence) onto
+  transiting packets, the receiving vSwitch echoes a compact digest
+  back on ACKs, and the sender aggregates a per-flow
+  :class:`~repro.obs.int.TelemetryView` (bottleneck hop, queue-depth
+  series, path latency decomposition) — DESIGN.md §16;
+* ``python -m repro.obs`` — ``summary`` / ``grep`` / ``timeline`` /
+  ``int`` inspection of an exported trace.
 
 Zero-cost-off contract: instrumented objects hold ``None`` instead of a
 bus/recorder when telemetry is off and pay one ``is None`` test per
@@ -28,6 +34,14 @@ from ``sim.now``; nothing in this package reads the wall clock.
 
 from .context import ObsContext, PortObs
 from .export import read_jsonl, write_csv, write_jsonl
+from .int import (
+    MAX_INT_HOPS,
+    IntEcho,
+    IntSink,
+    IntStamper,
+    IntTelemetry,
+    TelemetryView,
+)
 from .metrics import Counter, Gauge, Histogram, MetricRegistry
 from .recorder import FlightRecorder
 from .trace import (
@@ -51,9 +65,15 @@ __all__ = [
     "Gauge",
     "Histogram",
     "INFO",
+    "IntEcho",
+    "IntSink",
+    "IntStamper",
+    "IntTelemetry",
+    "MAX_INT_HOPS",
     "MetricRegistry",
     "ObsContext",
     "PortObs",
+    "TelemetryView",
     "TraceBus",
     "TraceConfig",
     "TraceEvent",

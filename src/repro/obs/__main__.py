@@ -6,6 +6,8 @@ Subcommands::
     grep      TRACE.jsonl [--type T,...] [--flow F] [--component C]
               [--min-sev warning] [--since S] [--until U] [--limit N]
     timeline  TRACE.jsonl [--flow F] [--types T,...] [--limit N]
+    int       TRACE.jsonl [--flow F] [--limit N]   # INT hop timeline +
+                                                   # bottleneck attribution
 
 ``TRACE.jsonl`` is a bus export (``--trace`` on an experiment, or
 :func:`repro.obs.export.write_jsonl`) or a flight-recorder dump — both
@@ -147,6 +149,66 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_int(args) -> int:
+    """Per-flow INT hop timeline plus the bottleneck attribution table."""
+    records = [r for r in _load(args.trace)
+               if str(r.get("type", "")).startswith("int.")
+               and _matches(r, args)]
+    if not records:
+        print("repro-obs: no int.* events match", file=sys.stderr)
+        return 1
+    shown = 0
+    print("per-flow hop timeline:")
+    for record in records:
+        flow = str(record.get("flow") or "-")
+        if record.get("type") == "int.path_change":
+            print(f"{record.get('t', 0.0):12.6f}s  {flow:40s} "
+                  f"path -> {record.get('path')}")
+        elif record.get("status") == "ok":
+            print(f"{record.get('t', 0.0):12.6f}s  {flow:40s} "
+                  f"#{record.get('serial', '?'):>4} "
+                  f"bottleneck={record.get('bottleneck')} "
+                  f"q_max={record.get('q_max_bytes', 0):.0f}B "
+                  f"residence={record.get('residence_s', 0.0) * 1e6:.1f}us")
+        else:
+            print(f"{record.get('t', 0.0):12.6f}s  {flow:40s} "
+                  f"degraded: {record.get('status')}")
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            print(f"... (limited to {args.limit} events)")
+            break
+    # Attribution: which hop was the bottleneck, how often, how deep.
+    table: dict = {}
+    degraded = 0
+    for record in records:
+        if record.get("type") != "int.report":
+            continue
+        if record.get("status") != "ok":
+            degraded += 1
+            continue
+        hop = str(record.get("bottleneck"))
+        entry = table.setdefault(hop, {"reports": 0, "q_max": 0.0,
+                                       "residence_s": 0.0})
+        entry["reports"] += 1
+        entry["q_max"] = max(entry["q_max"],
+                             float(record.get("q_max_bytes", 0.0)))
+        entry["residence_s"] += float(record.get("residence_s", 0.0))
+    total = sum(e["reports"] for e in table.values())
+    print("\nbottleneck attribution:")
+    print(f"  {'hop':24s} {'reports':>8s} {'share':>7s} "
+          f"{'q_max':>10s} {'mean_res':>10s}")
+    ranked = sorted(table.items(), key=lambda kv: (-kv[1]["reports"], kv[0]))
+    for hop, entry in ranked:
+        share = entry["reports"] / total if total else 0.0
+        mean_res = (entry["residence_s"] / entry["reports"]
+                    if entry["reports"] else 0.0)
+        print(f"  {hop:24s} {entry['reports']:8d} {share:6.1%} "
+              f"{entry['q_max']:9.0f}B {mean_res * 1e6:8.1f}us")
+    if degraded:
+        print(f"  ({degraded} degraded report(s) not attributed)")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 def _add_filters(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--type", dest="types", default="",
@@ -178,6 +240,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "timeline", help="per-flow interleaved event timeline")
     timeline.add_argument("trace", help="JSONL trace or flight dump")
     _add_filters(timeline)
+    int_cmd = sub.add_parser(
+        "int", help="INT hop timeline + bottleneck attribution table")
+    int_cmd.add_argument("trace", help="JSONL trace or flight dump")
+    _add_filters(int_cmd)
     return parser
 
 
@@ -196,6 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_summary(args)
         if args.command == "grep":
             return cmd_grep(args)
+        if args.command == "int":
+            return cmd_int(args)
         return cmd_timeline(args)
     except SystemExit as exc:
         return int(exc.code or 0)

@@ -163,6 +163,62 @@ class _PortSource:
         }
 
 
+class _IntTelemetrySource:
+    """Run-global INT pipeline counters (repro.obs.int)."""
+
+    __slots__ = ("telemetry",)
+
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+
+    def __call__(self) -> dict:
+        return self.telemetry.snapshot()
+
+
+class _IntStamperSource:
+    """One switch port's hop-stamping counters."""
+
+    __slots__ = ("stamper",)
+
+    def __init__(self, stamper):
+        self.stamper = stamper
+
+    def __call__(self) -> dict:
+        return self.stamper.snapshot()
+
+
+class _FluidPortSource:
+    """Flattened coupling stats of one fluid port (repro.fluid).
+
+    The per-port dict is the scalar subset of ``FluidPort.snapshot()``
+    (no nested per-class lists), so hybrid runs surface their coupling
+    behaviour — overlay occupancy peak, serialization inflation, mark
+    fraction — through the same ``RunResult.telemetry`` snapshot path
+    as packet-tier metrics.
+    """
+
+    __slots__ = ("fluid_port",)
+
+    def __init__(self, fluid_port):
+        self.fluid_port = fluid_port
+
+    def __call__(self) -> dict:
+        fp = self.fluid_port
+        return {
+            "steps": fp.steps,
+            "offered_bytes": fp.offered_bytes,
+            "delivered_bytes": fp.delivered_bytes,
+            "marked_bytes": fp.marked_bytes,
+            "wred_dropped_bytes": fp.wred_dropped_bytes,
+            "tail_lost_bytes": fp.tail_lost_bytes,
+            "overlay_bytes": fp.shared.overlay_bytes(fp.queue_id),
+            "overlay_peak_bytes": fp.overlay_peak_bytes,
+            "inflation": fp.service_inflation(),
+            "inflation_peak": fp.inflation_peak,
+            "mark_fraction": fp.mark_fraction,
+        }
+
+
 class ObsContext:
     """Trace bus + metric registry for one run."""
 
@@ -224,6 +280,29 @@ class ObsContext:
         """Instrument every switch of a built topology."""
         for switch in topology.switches.values():
             self.register_switch(switch)
+
+    def register_int(self, telemetry) -> None:
+        """Expose an :class:`~repro.obs.int.IntTelemetry` context: the
+        run-global pipeline counters plus one source per hop stamper."""
+        self.registry.source("int", _IntTelemetrySource(telemetry))
+        for stamper in telemetry.stampers:
+            self.registry.source(f"int.hop.{stamper.hop_id}",
+                                 _IntStamperSource(stamper))
+
+    def register_fluid(self, tier) -> None:
+        """Flatten a :class:`~repro.fluid.FluidTier`'s coupling stats
+        into the snapshot, one source per coupled port.
+
+        Ports without flow classes register nothing: an inert coupling
+        (hooks installed, zero background) must keep the §15
+        byte-identity contract with an uncoupled run, snapshot
+        included.
+        """
+        for fluid_port in tier.ports:
+            if not fluid_port.classes:
+                continue
+            name = f"fluid.{fluid_port.port.name}"
+            self.registry.source(name, _FluidPortSource(fluid_port))
 
     def register_runtime(self, runtime) -> None:
         """Expose an experiment runtime's pool/cache stats, and give the

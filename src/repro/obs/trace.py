@@ -56,6 +56,13 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "fault.inject": ("cause",),
     # Switch-port shared-buffer occupancy at enqueue (sampled).
     "buffer.occupancy": ("queue_bytes",),
+    # In-band telemetry (repro.obs.int).  ``status`` is "ok" for a
+    # consumed report (with bottleneck/q_max_bytes/... fields) and an
+    # "invalid_*" reason when a mangled stack or echo was discarded —
+    # fault-degraded telemetry is counted and traced, never raised.
+    "int.report": ("status",),
+    # The sender-side view observed a new path signature for a flow.
+    "int.path_change": ("path",),
     # Sanitizer violations and flight-recorder dumps.
     "sanitizer.violation": ("invariant",),
     "flight.dump": ("path",),

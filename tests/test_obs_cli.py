@@ -102,3 +102,65 @@ def test_timeline_flowless_trace_exits_1(tmp_path, capsys):
                   "component": "faults", "flow": None, "cause": "loss"}],
                 path)
     assert main(["timeline", str(path)]) == 1
+
+
+def test_grep_flow_filter(trace, capsys):
+    assert main(["grep", trace, "--flow", "s2:"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["type"] == "ecn.mark"
+
+
+INT_RECORDS = [
+    {"t": 0.010, "type": "int.report", "sev": "info", "component": "int",
+     "flow": "s1:10000>recv:5000", "status": "ok", "serial": 1,
+     "bottleneck": "sw-edge.p1", "q_max_bytes": 45000.0,
+     "residence_s": 3.2e-4, "path": ["sw-core.p0", "sw-edge.p1"]},
+    {"t": 0.012, "type": "int.report", "sev": "info", "component": "int",
+     "flow": "s2:10001>recv:5000", "status": "ok", "serial": 1,
+     "bottleneck": "sw-edge.p1", "q_max_bytes": 30000.0,
+     "residence_s": 2.0e-4, "path": ["sw-core.p0", "sw-edge.p1"]},
+    {"t": 0.013, "type": "int.path_change", "sev": "info", "component": "int",
+     "flow": "s1:10000>recv:5000", "path": ["sw-core.p0", "sw-edge.p2"]},
+    {"t": 0.014, "type": "int.report", "sev": "warning", "component": "int",
+     "flow": "s1:10000>recv:5000", "status": "invalid_echo"},
+    {"t": 0.015, "type": "int.report", "sev": "info", "component": "int",
+     "flow": "s1:10000>recv:5000", "status": "ok", "serial": 2,
+     "bottleneck": "sw-core.p0", "q_max_bytes": 15000.0,
+     "residence_s": 1.0e-4, "path": ["sw-core.p0", "sw-edge.p2"]},
+]
+
+
+@pytest.fixture
+def int_trace(tmp_path):
+    path = tmp_path / "int.jsonl"
+    write_jsonl(RECORDS + INT_RECORDS, path)
+    return str(path)
+
+
+def test_int_timeline_and_attribution(int_trace, capsys):
+    assert main(["int", int_trace]) == 0
+    out = capsys.readouterr().out
+    assert "per-flow hop timeline:" in out
+    assert "bottleneck=sw-edge.p1" in out
+    assert "path -> ['sw-core.p0', 'sw-edge.p2']" in out
+    assert "degraded: invalid_echo" in out
+    assert "bottleneck attribution:" in out
+    # Two of three ok reports name the edge hop; it ranks first.
+    assert out.index("sw-edge.p1 ") < out.rindex("sw-core.p0 ")
+    assert "66.7%" in out and "33.3%" in out
+    assert "(1 degraded report(s) not attributed)" in out
+    # Non-INT events (flow.state etc.) never leak into the timeline.
+    assert "flow.state" not in out
+
+
+def test_int_flow_filter(int_trace, capsys):
+    assert main(["int", int_trace, "--flow", "s2:"]) == 0
+    out = capsys.readouterr().out
+    assert "s2:10001>recv:5000" in out and "s1:10000" not in out
+    assert "100.0%" in out
+
+
+def test_int_without_int_events_exits_1(trace, capsys):
+    assert main(["int", trace]) == 1
+    assert "no int.* events" in capsys.readouterr().err
